@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation A3: checkpoint-interval sweep against total downtime — why
+ * the paper's production fleet settled on ~10-minute checkpoints after
+ * C4D shipped (Section IV-B.1). Sparse checkpoints lose work at every
+ * crash; manic checkpointing pays the save cost continuously.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "c4d/downtime.h"
+#include "common/table.h"
+
+using namespace c4;
+using namespace c4::c4d;
+
+int
+main()
+{
+    const std::vector<std::pair<const char *, Duration>> intervals = {
+        {"8 h", hours(8)},       {"4.5 h", hours(4.5)},
+        {"1 h", hours(1)},       {"30 min", minutes(30)},
+        {"10 min", minutes(10)}, {"2 min", minutes(2)},
+        {"30 s", seconds(30)},
+    };
+
+    AsciiTable t({"Checkpoint interval", "Post-ckpt downtime",
+                  "Total downtime", "Paper note"});
+    for (const auto &[label, interval] : intervals) {
+        RecoveryPolicy p = RecoveryPolicy::december2023();
+        p.checkpointInterval = interval;
+        DowntimeModel model(p, fault::FaultRates::paperDecember2023(),
+                            2400, days(30), 0xC4C4);
+        const DowntimeBreakdown b = model.run(256);
+        t.addRow({label, AsciiTable::percent(b.postCheckpoint, 3),
+                  AsciiTable::percent(b.total(), 3),
+                  std::string(label) == "10 min"
+                      ? "production choice (Dec 2023)"
+                      : ""});
+    }
+    std::printf("%s\n",
+                t.str("Ablation A3: checkpoint cadence vs downtime "
+                      "(C4D-era cluster, 2400 GPUs)")
+                    .c_str());
+    std::printf("U-shape: losing work (sparse) vs paying save cost "
+                "(manic); ~10 min is near the knee.\n");
+    return 0;
+}

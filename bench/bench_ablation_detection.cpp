@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablation A2: C4D localization accuracy and latency vs fault severity.
+ *
+ * For each degradation severity (how much NIC Rx bandwidth remains) and
+ * for straggler slowdowns, a fault is injected into a running job and
+ * we record whether C4D localizes the right node and how fast. The
+ * paper claims detection in "tens of seconds" for clear faults; mild
+ * degradations sit below the analyzer's thresholds by design (they are
+ * within normal jitter).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/cluster.h"
+#include "train/job.h"
+#include "train/model.h"
+
+using namespace c4;
+using namespace c4::core;
+
+namespace {
+
+struct Outcome
+{
+    bool detected = false;
+    bool correct = false;
+    double latencySec = 0.0;
+};
+
+Outcome
+runNicFault(double severity, std::uint64_t seed)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4d = true;
+    cc.c4d.evaluatePeriod = seconds(2);
+    cc.c4d.analyzer.minWaitForSlow = milliseconds(20);
+    cc.steering.isolateOnSlow = false; // observe without restarts
+    cc.seed = seed;
+    Cluster cluster(cc);
+    cluster.startRuntime();
+
+    train::JobConfig jc;
+    jc.id = 1;
+    jc.model = train::llama7b();
+    jc.model.microbatchCompute = milliseconds(800);
+    jc.parallel = {.tp = 8, .pp = 1, .dp = 4};
+    jc.initTime = seconds(5);
+    jc.dpGroupsSimulated = 1;
+    auto &job = cluster.addJob(jc);
+    job.start();
+    cluster.run(minutes(1));
+
+    const NodeId victim = job.nodes()[1];
+    for (int nic = 0; nic < 8; ++nic) {
+        fault::FaultEvent ev;
+        ev.type = fault::FaultType::SlowNicRx;
+        ev.node = victim;
+        ev.nic = nic;
+        ev.severity = severity;
+        cluster.faults().injectNow(ev);
+    }
+    const Time fault_time = cluster.sim().now();
+
+    cluster.run(minutes(8));
+    Outcome out;
+    for (const auto &ev : cluster.c4dMaster()->eventLog()) {
+        if (ev.when < fault_time ||
+            ev.kind != c4d::C4dEventKind::CommSlow)
+            continue;
+        out.detected = true;
+        out.latencySec = toSeconds(ev.when - fault_time);
+        for (NodeId n : ev.suspectNodes)
+            out.correct |= n == victim;
+        break;
+    }
+    return out;
+}
+
+Outcome
+runStraggler(double compute_scale, std::uint64_t seed)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4d = true;
+    cc.c4d.evaluatePeriod = seconds(2);
+    cc.c4d.analyzer.minWaitForSlow = milliseconds(50);
+    cc.steering.isolateOnSlow = false;
+    cc.seed = seed;
+    Cluster cluster(cc);
+    cluster.startRuntime();
+
+    train::JobConfig jc;
+    jc.id = 1;
+    jc.model = train::llama7b();
+    jc.model.microbatchCompute = milliseconds(800);
+    jc.parallel = {.tp = 8, .pp = 1, .dp = 4};
+    jc.initTime = seconds(5);
+    jc.dpGroupsSimulated = 1;
+    auto &job = cluster.addJob(jc);
+    job.start();
+    cluster.run(minutes(1));
+
+    const NodeId victim = job.nodes()[2];
+    job.setNodeComputeScale(victim, compute_scale);
+    const Time fault_time = cluster.sim().now();
+
+    cluster.run(minutes(8));
+    Outcome out;
+    for (const auto &ev : cluster.c4dMaster()->eventLog()) {
+        if (ev.when < fault_time ||
+            ev.kind != c4d::C4dEventKind::NonCommSlow)
+            continue;
+        out.detected = true;
+        out.latencySec = toSeconds(ev.when - fault_time);
+        for (NodeId n : ev.suspectNodes)
+            out.correct |= n == victim;
+        break;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    AsciiTable nic({"NIC Rx capacity left", "Detected", "Localized",
+                    "Latency (s)"});
+    for (double severity : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+        const Outcome o = runNicFault(severity, 0xDE7E);
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.0f%%", severity * 100);
+        nic.addRow({label, o.detected ? "yes" : "no",
+                    o.correct ? "yes" : "-",
+                    o.detected ? AsciiTable::num(o.latencySec, 1)
+                               : "-"});
+    }
+    std::printf("%s\n",
+                nic.str("Ablation A2a: comm-slow localization vs NIC "
+                        "degradation severity")
+                    .c_str());
+
+    AsciiTable strag({"Straggler compute factor", "Detected",
+                      "Localized", "Latency (s)"});
+    for (double scale : {1.05, 1.2, 1.5, 2.0, 3.0}) {
+        const Outcome o = runStraggler(scale, 0xDE7F);
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.2fx", scale);
+        strag.addRow({label, o.detected ? "yes" : "no",
+                      o.correct ? "yes" : "-",
+                      o.detected ? AsciiTable::num(o.latencySec, 1)
+                                 : "-"});
+    }
+    std::printf("%s\n",
+                strag
+                    .str("Ablation A2b: non-comm-slow localization vs "
+                         "straggler severity")
+                    .c_str());
+    std::printf("Mild degradations (within normal jitter) are "
+                "intentionally below threshold;\nclear faults localize "
+                "within tens of seconds (paper Section IV-B.1).\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablation A4: topology-aware placement (paper Section III-B: "utilize
+ * topology-aware scheduling techniques to ensure that the two ranks
+ * needing to communicate are as close as possible").
+ *
+ * Two 4-node DP training jobs share the testbed under stock ECMP.
+ * Packed placement keeps each job's ring under one leaf pair (spine
+ * traffic: none); scattered placement round-robins nodes across
+ * segments, pushing every ring boundary over the spines where the jobs
+ * collide with each other. C4P recovers most of the scattered loss —
+ * which is the paper's point that placement alone is "effective for
+ * small-scale jobs" while larger clusters need traffic engineering.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/cluster.h"
+#include "core/placement.h"
+#include "train/job.h"
+#include "train/model.h"
+
+using namespace c4;
+using namespace c4::core;
+
+namespace {
+
+struct Result
+{
+    double samplesPerSec = 0.0;
+    int segments = 0;
+};
+
+Result
+run(PlacementStrategy strategy, bool c4p, std::uint64_t seed)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4p = c4p;
+    cc.seed = seed;
+    Cluster cluster(cc);
+
+    Result result;
+    std::vector<train::TrainingJob *> jobs;
+    for (JobId id = 1; id <= 2; ++id) {
+        train::JobConfig jc;
+        jc.id = id;
+        jc.model = train::llama13b();
+        jc.parallel = {.tp = 8, .pp = 1, .dp = 4};
+        jc.microBatch = 4;
+        jc.initTime = seconds(1);
+        jc.dpGroupsSimulated = 2;
+        jc.nodes = cluster.allocateNodes(4, strategy);
+        result.segments =
+            segmentsSpanned(cluster.topology(), jc.nodes);
+        jobs.push_back(&cluster.addJob(jc));
+    }
+    for (auto *j : jobs)
+        j->start();
+    cluster.run(minutes(10));
+    for (auto *j : jobs)
+        result.samplesPerSec += j->meanSamplesPerSec();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Result packed = run(PlacementStrategy::Packed, false, 0xA41);
+    const Result packed_c4p =
+        run(PlacementStrategy::Packed, true, 0xA41);
+    const Result scattered =
+        run(PlacementStrategy::Scattered, false, 0xA41);
+    const Result scattered_c4p =
+        run(PlacementStrategy::Scattered, true, 0xA41);
+
+    AsciiTable t({"Placement", "Segments/job", "Total samples/s",
+                  "vs packed"});
+    t.addRow({"packed (topology-aware)",
+              AsciiTable::integer(packed.segments),
+              AsciiTable::num(packed.samplesPerSec, 1), "-"});
+    t.addRow({"scattered, ECMP",
+              AsciiTable::integer(scattered.segments),
+              AsciiTable::num(scattered.samplesPerSec, 1),
+              AsciiTable::percent(
+                  scattered.samplesPerSec / packed.samplesPerSec - 1.0,
+                  1)});
+    t.addRow({"scattered, C4P",
+              AsciiTable::integer(scattered_c4p.segments),
+              AsciiTable::num(scattered_c4p.samplesPerSec, 1),
+              AsciiTable::percent(scattered_c4p.samplesPerSec /
+                                          packed.samplesPerSec -
+                                      1.0,
+                                  1)});
+    t.addRow({"packed, C4P",
+              AsciiTable::integer(packed_c4p.segments),
+              AsciiTable::num(packed_c4p.samplesPerSec, 1),
+              AsciiTable::percent(packed_c4p.samplesPerSec /
+                                          packed.samplesPerSec -
+                                      1.0,
+                                  1)});
+    std::printf("%s\n",
+                t.str("Ablation A4: topology-aware placement vs "
+                      "traffic engineering (2 DP jobs)")
+                    .c_str());
+    std::printf("Placement alone cannot remove the dual-port RX "
+                "collisions (they are leaf-local);\nit bounds spine "
+                "exposure. C4P dominates either placement — the paper's "
+                "point that\ntopology-aware scheduling is necessary "
+                "but not sufficient (Section III-B).\n");
+    return 0;
+}

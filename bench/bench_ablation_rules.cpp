@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation A1: which of C4P's allocation rules buys what?
+ *
+ * The Fig. 10a workload (8 concurrent cross-leaf allreduce jobs, 1:1)
+ * is run under four policies:
+ *   1. baseline ECMP (no rules),
+ *   2. dual-port balance only (rx plane pinned, spines hashed),
+ *   3. spine balance only (least-loaded spines, rx plane hashed),
+ *   4. full C4P (both rules).
+ *
+ * DESIGN.md Section 4 calls this out: the dual-port rule removes the
+ * 2x RX-port collapse; the spine rule removes trunk collisions; only
+ * together do they reach the NVLink ceiling consistently.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accl/path_policy.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+using namespace c4;
+using namespace c4::core;
+
+namespace {
+
+Summary
+runPolicy(bool dual_port, bool spines, bool enable_c4p,
+          std::uint64_t seed, bool spray = false)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4p = enable_c4p;
+    cc.c4p.balanceDualPort = dual_port;
+    cc.c4p.balanceSpines = spines;
+    cc.seed = seed;
+    Cluster cluster(cc);
+    accl::SprayPathPolicy spray_policy(seed);
+    if (spray)
+        cluster.accl().setPathPolicy(&spray_policy);
+
+    const auto placements = crossSegmentPairs(cluster.topology(), 8);
+    std::vector<std::unique_ptr<AllreduceTask>> tasks;
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        AllreduceTaskConfig tc;
+        tc.job = static_cast<JobId>(i + 1);
+        tc.nodes = placements[i];
+        tc.bytes = mib(256);
+        tc.iterations = 30;
+        tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
+    }
+    for (auto &t : tasks)
+        t->start();
+    cluster.run();
+
+    Summary out;
+    for (auto &t : tasks)
+        out.add(t->busBwGbps().mean());
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Config
+    {
+        const char *name;
+        bool c4p, dual, spine, spray;
+    };
+    const std::vector<Config> configs = {
+        {"baseline (ECMP)", false, false, false, false},
+        {"packet spraying", false, false, false, true},
+        {"dual-port rule only", true, true, false, false},
+        {"spine-balance rule only", true, false, true, false},
+        {"full C4P (both rules)", true, true, true, false},
+    };
+
+    constexpr int kTrials = 6;
+    AsciiTable t({"Policy", "Mean busbw (Gbps)", "Min task", "Max task"});
+    for (const auto &cfg : configs) {
+        Summary mean, mn, mx;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            const Summary s = runPolicy(cfg.dual, cfg.spine, cfg.c4p,
+                                        0xAB1A + 977u * trial,
+                                        cfg.spray);
+            mean.add(s.mean());
+            mn.add(s.min());
+            mx.add(s.max());
+        }
+        t.addRow({cfg.name, AsciiTable::num(mean.mean()),
+                  AsciiTable::num(mn.mean()), AsciiTable::num(mx.mean())});
+    }
+    std::printf("%s\n",
+                t.str("Ablation A1: C4P allocation rules "
+                      "(Fig. 10a workload, mean of 6 trials)")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Fig. 9: allreduce bus bandwidth with and without C4P's
+ * dual-port traffic balance, sweeping 16 -> 128 GPUs (2 -> 16 nodes).
+ *
+ * Paper shape: baseline busbw "lower than 240 Gbps in most test cases";
+ * C4P close to the 362 Gbps NVLink ceiling (~50% gain). Several trials
+ * (seeds) per scale average over the stochastic ECMP port draws.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+using namespace c4;
+using namespace c4::core;
+
+namespace {
+
+/** Cross-segment node pick: node i of segment (i mod 4). */
+std::vector<NodeId>
+spreadNodes(const net::Topology &topo, int count)
+{
+    std::vector<NodeId> nodes;
+    const int per_segment = topo.config().nodesPerSegment;
+    for (int i = 0; i < count; ++i) {
+        const int seg = i % topo.numSegments();
+        const int slot = i / topo.numSegments();
+        nodes.push_back(static_cast<NodeId>(seg * per_segment + slot));
+    }
+    return nodes;
+}
+
+double
+runTrial(int num_nodes, bool c4p, std::uint64_t seed)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4p = c4p;
+    cc.seed = seed;
+    Cluster cluster(cc);
+
+    AllreduceTaskConfig tc;
+    tc.nodes = spreadNodes(cluster.topology(), num_nodes);
+    tc.bytes = mib(256);
+    tc.iterations = 25;
+    AllreduceTask task(cluster, tc);
+    task.start();
+    cluster.run();
+    return task.busBwGbps().mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kTrials = 8;
+    const std::vector<int> node_counts = {2, 4, 8, 16};
+
+    AsciiTable t({"GPUs", "Baseline (Gbps)", "C4P (Gbps)", "Gain",
+                  "Paper baseline", "Paper C4P"});
+    for (int nodes : node_counts) {
+        Summary base, c4p;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            const auto seed = 0xF19000ull + 7919u * trial;
+            base.add(runTrial(nodes, false, seed));
+            c4p.add(runTrial(nodes, true, seed));
+        }
+        char gpus[16];
+        std::snprintf(gpus, sizeof(gpus), "%d", nodes * 8);
+        t.addRow({gpus, AsciiTable::num(base.mean()),
+                  AsciiTable::num(c4p.mean()),
+                  AsciiTable::percent(c4p.mean() / base.mean() - 1.0, 1),
+                  "< 240", "~360"});
+    }
+    std::printf(
+        "%s\n",
+        t.str("Fig. 9: allreduce busbw, dual-port balance "
+              "(ring, 256 MiB, mean of 8 trials)")
+            .c_str());
+    std::printf("NVLink busbw ceiling: 362 Gbps (paper Section IV-B)\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot kernels:
+ * event-queue throughput, max-min fair re-allocation, delay-matrix
+ * analysis, and end-to-end allreduce simulation cost. These bound how
+ * large an experiment the harness can sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accl/accl.h"
+#include "c4d/analyzer.h"
+#include "core/cluster.h"
+#include "net/fabric.h"
+
+using namespace c4;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        for (std::size_t i = 0; i < n; ++i)
+            sim.scheduleAt(static_cast<Time>(i * 7 % 1000), [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.executedCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_FabricReallocation(benchmark::State &state)
+{
+    const int flows = static_cast<int>(state.range(0));
+    net::TopologyConfig tc;
+    tc.numNodes = 64;
+    tc.nodesPerSegment = 4;
+    net::Topology topo(tc);
+    Simulator sim;
+    net::FabricConfig fc;
+    fc.congestionJitter = false;
+    net::Fabric fabric(sim, topo, fc);
+
+    std::uint32_t label = 0;
+    for (int i = 0; i < flows; ++i) {
+        net::PathRequest req;
+        req.srcNode = i % 32;
+        req.srcNic = i % 8;
+        req.dstNode = 32 + (i % 32);
+        req.dstNic = i % 8;
+        req.flowLabel = ++label;
+        fabric.startFlow(req, gib(100), nullptr);
+    }
+    // Force one consistent allocation first.
+    benchmark::DoNotOptimize(fabric.flowRate(1));
+
+    for (auto _ : state) {
+        // Toggling a link forces rerouting + full re-allocation.
+        fabric.setLinkUp(topo.trunkUplink(0, 0), false);
+        benchmark::DoNotOptimize(fabric.linkThroughput(0));
+        fabric.setLinkUp(topo.trunkUplink(0, 0), true);
+        benchmark::DoNotOptimize(fabric.linkThroughput(0));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2 * flows);
+}
+BENCHMARK(BM_FabricReallocation)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_DelayMatrixAnalysis(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<accl::ConnRecord> records;
+    for (int rep = 0; rep < 8; ++rep) {
+        for (Rank s = 0; s < n; ++s) {
+            accl::ConnRecord r;
+            r.srcRank = s;
+            r.dstRank = (s + 1) % n;
+            r.bytes = mib(8);
+            r.startTime = 0;
+            r.endTime = milliseconds(1 + s % 3);
+            records.push_back(r);
+        }
+    }
+    for (auto _ : state) {
+        const auto matrix = c4d::DelayMatrix::build(n, records);
+        const auto finding = c4d::analyzeCommSlow(matrix);
+        benchmark::DoNotOptimize(finding.kind);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_DelayMatrixAnalysis)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_AllreduceSimulation(benchmark::State &state)
+{
+    const int nodes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        core::ClusterConfig cc;
+        cc.topology = core::productionPod(nodes);
+        cc.enableC4p = true;
+        core::Cluster cluster(cc);
+        std::vector<accl::DeviceInfo> devices;
+        for (NodeId n = 0; n < nodes; ++n)
+            for (int g = 0; g < 8; ++g)
+                devices.push_back({n, static_cast<GpuId>(g),
+                                   static_cast<NicId>(g)});
+        const CommId comm =
+            cluster.accl().createCommunicator(1, std::move(devices));
+        int done = 0;
+        for (int i = 0; i < 10; ++i) {
+            cluster.accl().postCollective(
+                comm, accl::CollOp::AllReduce, mib(256),
+                [&](const accl::CollectiveResult &) { ++done; });
+        }
+        cluster.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_AllreduceSimulation)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

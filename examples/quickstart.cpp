@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build the paper's 16-node testbed, run an nccl-test-style
+ * allreduce benchmark twice — once with stock ECMP routing and once with
+ * C4P traffic engineering — and print the measured bus bandwidth.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+using namespace c4;
+using namespace c4::core;
+
+namespace {
+
+double
+runOnce(bool enable_c4p)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4p = enable_c4p;
+    Cluster cluster(cc);
+
+    // Four nodes under different leaf pairs: traffic crosses the spines
+    // and every ring boundary is a dual-port collision opportunity.
+    AllreduceTaskConfig tc;
+    tc.nodes = {0, 4, 8, 12};
+    tc.bytes = mib(256);
+    tc.iterations = 20;
+    AllreduceTask task(cluster, tc);
+    task.start();
+    cluster.run();
+
+    return task.busBwGbps().mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("C4 quickstart: 32-GPU ring allreduce, 256 MiB\n");
+    std::printf("  topology : %s\n",
+                net::Topology(paperTestbed()).summary().c_str());
+
+    const double baseline = runOnce(false);
+    const double c4p = runOnce(true);
+
+    std::printf("  baseline (ECMP)            : %7.2f Gbps busbw\n",
+                baseline);
+    std::printf("  C4P traffic engineering    : %7.2f Gbps busbw\n", c4p);
+    std::printf("  improvement                : %+6.1f%%\n",
+                (c4p / baseline - 1.0) * 100.0);
+    std::printf("\nThe NVLink fabric caps busbw at 362 Gbps (paper "
+                "Section IV-B); the gap\nto the baseline comes from "
+                "dual-port RX imbalance and spine collisions.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A compressed "month of production": a large data-parallel job trains
+ * for several simulated days under a Poisson fault campaign at the
+ * paper's June-2023 rates while the full C4 stack (C4D detection +
+ * steering + C4P traffic engineering) keeps it alive. The example
+ * prints a running operations log and a final utilization report.
+ *
+ *   $ ./examples/training_month
+ */
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "train/model.h"
+
+using namespace c4;
+using namespace c4::core;
+
+int
+main()
+{
+    const Duration span = hours(12); // compressed campaign window
+
+    ClusterConfig cc;
+    cc.topology = productionPod(32);
+    cc.enableC4d = true;
+    cc.enableC4p = true;
+    cc.c4d.evaluatePeriod = seconds(5);
+    cc.c4d.hangThreshold = seconds(30);
+    cc.steering.isolationDelay = minutes(2);
+    Cluster cluster(cc);
+    cluster.provisionBackupNodes(4); // warm spares, as in the paper
+    cluster.startRuntime();
+
+    train::JobConfig jc;
+    jc.id = 1;
+    jc.name = "prod-llm";
+    jc.model = train::gpt22b();
+    jc.parallel = {.tp = 8, .pp = 1, .dp = 24};
+    jc.parallel.gradientAccumulation = 8; // long iterations: faster sim
+    jc.microBatch = 4;
+    jc.initTime = minutes(3);
+    jc.checkpointIntervalIters = 100;
+    jc.checkpointCost = seconds(2);
+    jc.dpGroupsSimulated = 2;
+    auto &job = cluster.addJob(jc);
+
+    cluster.c4dMaster()->onEvent([&](const c4d::C4dEvent &ev) {
+        std::printf("[%7.2f h] c4d: %s\n",
+                    toHours(cluster.sim().now()), ev.str().c_str());
+    });
+    cluster.faults().addObserver([&](const fault::FaultEvent &ev) {
+        std::printf("[%7.2f h] fault: %s\n",
+                    toHours(cluster.sim().now()), ev.str().c_str());
+    });
+
+    // Accelerated June-2023 fault rates (x300 so a 12-hour window on a
+    // small pod sees a hyperscale month's worth of trouble).
+    const auto rates = fault::FaultRates::paperJune2023().scaled(300.0);
+    const auto scheduled = cluster.faults().startCampaign(
+        rates, job.nodes(), 8, cluster.topology().gpusPerNode(),
+        cluster.topology().numLeaves() * cluster.topology().numSpines(),
+        span);
+    std::printf("campaign: %zu fault events over %.0f h on %zu "
+                "nodes\n\n",
+                scheduled, toHours(span), job.nodes().size());
+
+    job.start();
+    cluster.run(span);
+
+    const double samples =
+        static_cast<double>(job.iterationsCompleted()) *
+        static_cast<double>(jc.samplesPerIteration());
+    std::printf("\n=== report after %.0f h ===\n", toHours(span));
+    std::printf("iterations completed : %llu (%.0f samples)\n",
+                (unsigned long long)job.iterationsCompleted(), samples);
+    std::printf("job state            : %s\n", job.stateName());
+    std::printf("restarts issued      : %llu\n",
+                (unsigned long long)cluster.steering()->restartsIssued());
+    std::printf("nodes isolated       : %zu (backups left: %zu)\n",
+                cluster.steering()->isolatedNodes().size(),
+                cluster.steering()->backupsAvailable());
+    std::printf("c4d events emitted   : %llu\n",
+                (unsigned long long)cluster.c4dMaster()->eventsEmitted());
+
+    // Effective utilization: productive iteration time vs wall clock.
+    const double productive =
+        job.iterationSeconds().sum();
+    std::printf("productive fraction  : %.1f%% of wall clock\n",
+                100.0 * productive / toSeconds(span));
+    return 0;
+}

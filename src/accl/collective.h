@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Collective-operation vocabulary and bandwidth accounting.
+ *
+ * Bus-bandwidth bookkeeping follows nccl-tests: for an operation moving S
+ * bytes per rank in time T, algbw = S*8/T and busbw = algbw * busFactor,
+ * where busFactor depends on the operation and rank count (2(n-1)/n for
+ * allreduce). The paper reports busbw throughout its C4P evaluation.
+ */
+
+#ifndef C4_ACCL_COLLECTIVE_H
+#define C4_ACCL_COLLECTIVE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace c4::accl {
+
+/** Collective operations supported by the simulated library. */
+enum class CollOp : std::int8_t {
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    Broadcast,
+    AllToAll, ///< expert-parallel token shuffles (MoE dispatch/combine)
+    SendRecv, ///< point-to-point (pipeline parallelism stages)
+};
+
+const char *collOpName(CollOp op);
+
+/** Algorithm family used to realize a collective. */
+enum class AlgoKind : std::int8_t {
+    Ring,            ///< ring pipeline; bandwidth optimal, large msgs
+    Tree,            ///< binary reduce+broadcast tree; latency optimal
+    HalvingDoubling, ///< recursive halving/doubling; power-of-2 ranks
+};
+
+const char *algoKindName(AlgoKind algo);
+
+/**
+ * Traffic each rank must move through its slowest serial resource,
+ * as a multiple of the payload size S (the nccl-tests "bus factor").
+ */
+double busFactor(CollOp op, int nranks);
+
+/**
+ * Number of ring rounds the operation takes with one chunk in flight
+ * (allreduce: 2(n-1); gather/scatter: n-1; sendrecv: 1).
+ */
+int ringRounds(CollOp op, int nranks);
+
+/** Convert an operation duration to algorithm bandwidth in bits/s. */
+Bandwidth algBandwidth(Bytes bytes, Duration elapsed);
+
+/** Convert an operation duration to bus bandwidth in bits/s. */
+Bandwidth busBandwidth(CollOp op, int nranks, Bytes bytes,
+                       Duration elapsed);
+
+/** Identifier of one collective operation instance on a communicator. */
+using CollSeq = std::uint64_t;
+
+} // namespace c4::accl
+
+#endif // C4_ACCL_COLLECTIVE_H

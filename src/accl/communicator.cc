@@ -1,0 +1,69 @@
+#include "accl/communicator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace c4::accl {
+
+Communicator::Communicator(CommId id, JobId job,
+                           std::vector<DeviceInfo> devices, int channels)
+    : id_(id), job_(job), devices_(std::move(devices)), channels_(channels)
+{
+    if (devices_.empty())
+        throw std::invalid_argument("Communicator needs >= 1 device");
+    if (channels_ < 1)
+        throw std::invalid_argument("Communicator needs >= 1 channel");
+
+    std::unordered_map<NodeId, int> per_node;
+    for (const auto &d : devices_) {
+        if (per_node.find(d.node) == per_node.end())
+            nodes_.push_back(d.node);
+        ++per_node[d.node];
+    }
+    singleNode_ = nodes_.size() == 1;
+    for (const auto &[node, count] : per_node)
+        maxRanksPerNode_ = std::max(maxRanksPerNode_, count);
+
+    if (!singleNode_) {
+        for (Rank r = 0; r < size(); ++r) {
+            const Rank nr = nextRank(r);
+            if (devices_[static_cast<std::size_t>(r)].node !=
+                devices_[static_cast<std::size_t>(nr)].node) {
+                boundaries_.push_back(Boundary{r, nr});
+            }
+        }
+    }
+}
+
+const DeviceInfo &
+Communicator::device(Rank r) const
+{
+    assert(r >= 0 && r < size());
+    return devices_[static_cast<std::size_t>(r)];
+}
+
+std::vector<Rank>
+Communicator::ranksOnNode(NodeId node) const
+{
+    std::vector<Rank> out;
+    for (Rank r = 0; r < size(); ++r) {
+        if (devices_[static_cast<std::size_t>(r)].node == node)
+            out.push_back(r);
+    }
+    return out;
+}
+
+std::string
+Communicator::str() const
+{
+    std::ostringstream os;
+    os << "comm" << id_ << "[job=" << job_ << " ranks=" << size()
+       << " nodes=" << nodes_.size() << " channels=" << channels_
+       << " boundaries=" << boundaries_.size() << "]";
+    return os.str();
+}
+
+} // namespace c4::accl

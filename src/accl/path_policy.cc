@@ -1,0 +1,27 @@
+#include "accl/path_policy.h"
+
+#include <vector>
+
+namespace c4::accl {
+
+EcmpPathPolicy::EcmpPathPolicy(std::uint64_t seed) : rng_(seed)
+{
+}
+
+PathDecision
+EcmpPathPolicy::decide(const ConnContext &ctx)
+{
+    PathDecision d;
+    // The bonding driver alternates QPs over the two physical ports;
+    // channels sharing a NIC land on alternating planes as well.
+    d.txPlane = net::planeFromIndex((ctx.channel + ctx.qpIndex) %
+                                    net::kNumPlanes);
+    // Spine / landing plane left to the switches' ECMP hash; the random
+    // flowLabel stands in for the source port drawn at QP creation.
+    d.spine = kInvalidId;
+    d.rxPlane = kInvalidId;
+    d.flowLabel = static_cast<std::uint32_t>(rng_());
+    return d;
+}
+
+} // namespace c4::accl

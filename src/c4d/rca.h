@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Background root-cause analysis (paper Fig. 4).
+ *
+ * C4D's job is fast *localization* — find the node, isolate, restart —
+ * while "in-depth root cause analysis [is deferred] to offline
+ * processing". This module is that offline stage: it correlates C4D
+ * events with the hardware telemetry streams (the figure's "Server
+ * Monitor" and "Network Monitor") and, failing a corroborating log
+ * entry, falls back to syndrome priors (a non-comm hang on a node whose
+ * GPU threw no XID is most likely a CUDA/runtime death; a hot
+ * delay-matrix column is an Rx-side NIC issue; and so on).
+ */
+
+#ifndef C4_C4D_RCA_H
+#define C4_C4D_RCA_H
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "c4d/master.h"
+#include "common/types.h"
+#include "fault/fault_types.h"
+
+namespace c4::c4d {
+
+/**
+ * One entry from the out-of-band hardware monitors (GPU XID logs,
+ * switch syslog, NIC counters). The simulator's fault injector doubles
+ * as these monitors for fault classes that leave hardware traces.
+ */
+struct HardwareLogEntry
+{
+    Time when = 0;
+    NodeId node = kInvalidId;
+    fault::FaultType type = fault::FaultType::CudaError;
+    std::string detail;
+};
+
+/** True if this fault class leaves an out-of-band hardware trace. */
+bool faultVisibleInHardwareLogs(fault::FaultType type);
+
+/** RCA verdict for one C4D event. */
+struct RootCauseReport
+{
+    C4dEvent event;
+    fault::FaultType probableCause = fault::FaultType::CudaError;
+    double confidence = 0.0;
+    bool corroborated = false; ///< matched a hardware log entry
+    std::string rationale;
+};
+
+struct RcaConfig
+{
+    /** Hardware log entries this far before (or shortly after) the
+     * C4D event, on a suspect node, corroborate the cause. */
+    Duration correlationWindow = minutes(10);
+
+    /** Slack after the event (monitor batching). */
+    Duration postEventSlack = seconds(30);
+
+    /** Retained hardware log entries. */
+    std::size_t logCapacity = 1u << 16;
+};
+
+class RootCauseAnalyzer
+{
+  public:
+    explicit RootCauseAnalyzer(RcaConfig cfg = {});
+
+    /** Feed a hardware monitor entry. */
+    void ingestHardwareEvent(const HardwareLogEntry &entry);
+
+    /** Analyze a single C4D event against the log + priors. */
+    RootCauseReport analyze(const C4dEvent &event) const;
+
+    /** Batch analysis (the nightly offline pass). */
+    std::vector<RootCauseReport>
+    analyzeAll(const std::vector<C4dEvent> &events) const;
+
+    /** Cause histogram over reports (the Table-I style rollup). */
+    static std::map<fault::FaultType, int>
+    histogram(const std::vector<RootCauseReport> &reports);
+
+    std::size_t logSize() const { return log_.size(); }
+
+  private:
+    RcaConfig cfg_;
+    std::deque<HardwareLogEntry> log_;
+
+    const HardwareLogEntry *findCorroboration(const C4dEvent &ev) const;
+    static RootCauseReport syndromePrior(const C4dEvent &ev);
+};
+
+} // namespace c4::c4d
+
+#endif // C4_C4D_RCA_H

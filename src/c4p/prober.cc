@@ -1,0 +1,180 @@
+#include "c4p/prober.h"
+
+#include <cassert>
+#include <memory>
+
+namespace c4::c4p {
+
+std::vector<int>
+ProbeCatalog::healthySpines(int txLeaf, int rxLeaf) const
+{
+    std::vector<int> out;
+    for (int s = 0; s < numSpines; ++s) {
+        if (uplink(txLeaf, s) && downlink(s, rxLeaf))
+            out.push_back(s);
+    }
+    return out;
+}
+
+std::size_t
+ProbeCatalog::healthyUplinkCount() const
+{
+    std::size_t n = 0;
+    for (bool b : uplinkHealthy)
+        n += b ? 1 : 0;
+    return n;
+}
+
+PathProber::PathProber(Simulator &sim, net::Fabric &fabric,
+                       Bytes probeBytes, Duration deadline,
+                       std::uint64_t seed)
+    : sim_(sim), fabric_(fabric), probeBytes_(probeBytes),
+      deadline_(deadline), rng_(seed)
+{
+}
+
+NodeId
+PathProber::randomServerUnder(int segment)
+{
+    const auto &cfg = fabric_.topology().config();
+    const int base = segment * cfg.nodesPerSegment;
+    const int count = std::min(cfg.nodesPerSegment,
+                               cfg.numNodes - base);
+    assert(count > 0);
+    return static_cast<NodeId>(
+        base + rng_.uniformInt(0, count - 1));
+}
+
+void
+PathProber::probe(std::function<void(const ProbeCatalog &)> done)
+{
+    const net::Topology &topo = fabric_.topology();
+    const int leaves = topo.numLeaves();
+    const int spines = topo.numSpines();
+
+    auto catalog = std::make_shared<ProbeCatalog>();
+    catalog->numLeaves = leaves;
+    catalog->numSpines = spines;
+    catalog->uplinkHealthy.assign(
+        static_cast<std::size_t>(leaves) * spines, false);
+    catalog->downlinkHealthy.assign(
+        static_cast<std::size_t>(spines) * leaves, false);
+
+    auto outstanding = std::make_shared<int>(0);
+    auto finished = std::make_shared<bool>(false);
+    auto maybe_done = [catalog, outstanding, finished, done] {
+        if (*outstanding == 0 && !*finished) {
+            *finished = true;
+            done(*catalog);
+        }
+    };
+
+    for (int leaf = 0; leaf < leaves; ++leaf) {
+        for (int spine = 0; spine < spines; ++spine) {
+            // Route: server under `leaf` -> leaf -> spine -> a leaf of
+            // the same plane in another segment -> server there. The
+            // probe pins the trunks under test; the host hops are
+            // assumed healthy (separately monitored).
+            const int seg = topo.leafSegment(leaf);
+            const net::Plane plane = topo.leafPlane(leaf);
+            const int other_seg = (seg + 1) % topo.numSegments();
+            const int rx_leaf = topo.leafIndex(other_seg, plane);
+
+            const NodeId src = randomServerUnder(seg);
+            const NodeId dst = topo.numSegments() > 1
+                                   ? randomServerUnder(other_seg)
+                                   : src;
+            if (topo.numSegments() == 1) {
+                // Degenerate single-segment cluster: trust management
+                // telemetry for trunks (no cross-segment traffic).
+                catalog->uplinkHealthy[static_cast<std::size_t>(leaf) *
+                                           spines +
+                                       spine] =
+                    topo.link(topo.trunkUplink(leaf, spine)).up;
+                catalog->downlinkHealthy[static_cast<std::size_t>(spine) *
+                                             leaves +
+                                         leaf] =
+                    topo.link(topo.trunkDownlink(spine, leaf)).up;
+                continue;
+            }
+
+            net::Route route;
+            route.links = {
+                topo.hostUplink(src, 0, plane),
+                topo.trunkUplink(leaf, spine),
+                topo.trunkDownlink(spine, rx_leaf),
+                topo.hostDownlink(dst, 0, plane),
+            };
+            route.spine = spine;
+            route.rxPlane = plane;
+
+            // Dead trunks make the route unusable: model the probe as
+            // lost (deadline expiry) rather than rejected.
+            const bool routable =
+                topo.link(route.links[1]).up &&
+                topo.link(route.links[2]).up;
+
+            ++*outstanding;
+            ++probesSent_;
+            auto answered = std::make_shared<bool>(false);
+
+            if (routable) {
+                fabric_.startFlowOnRoute(
+                    route, probeBytes_,
+                    [catalog, outstanding, answered, leaf, spine,
+                     spines, leaves, maybe_done](const net::FlowEnd &) {
+                        if (*answered)
+                            return;
+                        *answered = true;
+                        catalog->uplinkHealthy
+                            [static_cast<std::size_t>(leaf) * spines +
+                             spine] = true;
+                        catalog->downlinkHealthy
+                            [static_cast<std::size_t>(spine) * leaves +
+                             leaf] = true;
+                        --*outstanding;
+                        maybe_done();
+                    });
+            }
+            sim_.scheduleAfter(
+                deadline_,
+                [answered, outstanding, maybe_done, routable] {
+                    if (*answered)
+                        return;
+                    *answered = true;
+                    --*outstanding;
+                    maybe_done();
+                });
+        }
+    }
+    // All-degenerate case (single segment): resolve immediately.
+    sim_.scheduleAfter(0, [maybe_done] { maybe_done(); });
+}
+
+ProbeCatalog
+PathProber::managementView() const
+{
+    const net::Topology &topo = fabric_.topology();
+    ProbeCatalog catalog;
+    catalog.numLeaves = topo.numLeaves();
+    catalog.numSpines = topo.numSpines();
+    catalog.uplinkHealthy.resize(
+        static_cast<std::size_t>(catalog.numLeaves) * catalog.numSpines);
+    catalog.downlinkHealthy.resize(
+        static_cast<std::size_t>(catalog.numSpines) * catalog.numLeaves);
+    for (int leaf = 0; leaf < catalog.numLeaves; ++leaf) {
+        for (int spine = 0; spine < catalog.numSpines; ++spine) {
+            catalog.uplinkHealthy[static_cast<std::size_t>(leaf) *
+                                      catalog.numSpines +
+                                  spine] =
+                topo.link(topo.trunkUplink(leaf, spine)).up;
+            catalog.downlinkHealthy[static_cast<std::size_t>(spine) *
+                                        catalog.numLeaves +
+                                    leaf] =
+                topo.link(topo.trunkDownlink(spine, leaf)).up;
+        }
+    }
+    return catalog;
+}
+
+} // namespace c4::c4p

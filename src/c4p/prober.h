@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Path probing (paper Section III-B): before allocating paths, the C4P
+ * master verifies leaf<->spine path health by full-mesh probing "via
+ * randomly selected servers per leaf switch". The prober launches real
+ * probe flows through the fabric and classifies each (leaf, spine) trunk
+ * pair by whether the probe completed within a deadline — black-holed
+ * paths never complete.
+ */
+
+#ifndef C4_C4P_PROBER_H
+#define C4_C4P_PROBER_H
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace c4::c4p {
+
+/** Health verdicts for every trunk, indexed [leaf][spine]. */
+struct ProbeCatalog
+{
+    int numLeaves = 0;
+    int numSpines = 0;
+    std::vector<bool> uplinkHealthy;   // [leaf * numSpines + spine]
+    std::vector<bool> downlinkHealthy; // [spine * numLeaves + leaf]
+
+    bool
+    uplink(int leaf, int spine) const
+    {
+        return uplinkHealthy[static_cast<std::size_t>(leaf) * numSpines +
+                             spine];
+    }
+
+    bool
+    downlink(int spine, int leaf) const
+    {
+        return downlinkHealthy[static_cast<std::size_t>(spine) *
+                                   numLeaves +
+                               leaf];
+    }
+
+    /** Spines usable between a pair of leaves. */
+    std::vector<int> healthySpines(int txLeaf, int rxLeaf) const;
+
+    std::size_t healthyUplinkCount() const;
+};
+
+class PathProber
+{
+  public:
+    /**
+     * @param sim event engine
+     * @param fabric substrate probes travel through
+     * @param probeBytes probe message size (tiny; latency-oriented)
+     * @param deadline probe timeout; an unanswered probe marks the path
+     *        faulty
+     */
+    PathProber(Simulator &sim, net::Fabric &fabric,
+               Bytes probeBytes = kib(4),
+               Duration deadline = milliseconds(50),
+               std::uint64_t seed = 0x9120BE12ull);
+
+    /**
+     * Probe every (leaf, spine) trunk pair with real flows, invoking
+     * @p done with the catalog when all probes resolved (completed or
+     * timed out). Each trunk is exercised by routing a probe from a
+     * random server under the leaf through the pinned spine and back
+     * down to a server under a different leaf.
+     */
+    void probe(std::function<void(const ProbeCatalog &)> done);
+
+    /**
+     * Instantaneous catalog from the management plane (switch/optics
+     * telemetry). Probe flows and the management view agree in this
+     * simulator; production C4P cross-checks both.
+     */
+    ProbeCatalog managementView() const;
+
+    std::uint64_t probesSent() const { return probesSent_; }
+
+  private:
+    Simulator &sim_;
+    net::Fabric &fabric_;
+    Bytes probeBytes_;
+    Duration deadline_;
+    Rng rng_;
+    std::uint64_t probesSent_ = 0;
+
+    NodeId randomServerUnder(int segment);
+};
+
+} // namespace c4::c4p
+
+#endif // C4_C4P_PROBER_H

@@ -1,0 +1,167 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace c4 {
+
+CsvWriter::CsvWriter(std::ostream &out) : out_(out)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    row(columns);
+}
+
+void
+CsvWriter::sep()
+{
+    if (rowStarted_)
+        out_ << ',';
+    rowStarted_ = true;
+}
+
+std::string
+CsvWriter::escape(const std::string &v)
+{
+    const bool needs_quotes =
+        v.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return v;
+    std::string out = "\"";
+    for (char c : v) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &v)
+{
+    sep();
+    out_ << escape(v);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(const char *v)
+{
+    return cell(std::string(v));
+}
+
+CsvWriter &
+CsvWriter::cell(double v)
+{
+    sep();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ << buf;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(std::int64_t v)
+{
+    sep();
+    out_ << v;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(std::int32_t v)
+{
+    sep();
+    out_ << v;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(std::uint64_t v)
+{
+    sep();
+    out_ << v;
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    out_ << '\n';
+    rowStarted_ = false;
+    ++rows_;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (const auto &c : cells)
+        cell(c);
+    endRow();
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> current;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+
+    auto end_field = [&] {
+        current.push_back(field);
+        field.clear();
+        field_started = false;
+    };
+    auto end_row = [&] {
+        if (field_started || !current.empty()) {
+            end_field();
+            rows.push_back(std::move(current));
+            current = {};
+        }
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_quotes = true;
+            field_started = true;
+            break;
+          case ',':
+            field_started = true;
+            end_field();
+            field_started = true;
+            break;
+          case '\r':
+            break;
+          case '\n':
+            end_row();
+            break;
+          default:
+            field += c;
+            field_started = true;
+        }
+    }
+    end_row();
+    return rows;
+}
+
+} // namespace c4

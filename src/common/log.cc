@@ -1,0 +1,86 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace c4 {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;
+std::mutex g_mutex;
+
+void
+defaultSink(LogLevel level, const std::string &tag,
+            const std::string &message)
+{
+    std::fprintf(stderr, "%-5s [%s] %s\n", logLevelName(level), tag.c_str(),
+                 message.c_str());
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off:   return "OFF";
+    }
+    return "?";
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_sink = std::move(sink);
+}
+
+void
+logMessage(LogLevel level, const char *tag, const char *fmt, ...)
+{
+    if (level < g_level || g_level == LogLevel::Off)
+        return;
+
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+
+    std::string message;
+    if (needed > 0) {
+        std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        message.assign(buf.data(), static_cast<std::size_t>(needed));
+    }
+    va_end(args);
+
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_sink)
+        g_sink(level, tag, message);
+    else
+        defaultSink(level, tag, message);
+}
+
+} // namespace c4

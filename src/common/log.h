@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * The simulator is a library, so logging is off by default (Warn level) and
+ * is routed through a single global sink that tests can silence or capture.
+ * Messages are printf-formatted; the call sites stay terse:
+ *
+ *     logInfo("c4p", "allocated path leaf=%d spine=%d", leaf, spine);
+ */
+
+#ifndef C4_COMMON_LOG_H
+#define C4_COMMON_LOG_H
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace c4 {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/** Name of a level for rendering. */
+const char *logLevelName(LogLevel level);
+
+/** Global minimum level; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Replace the sink. The default sink writes "LEVEL [tag] message" lines to
+ * stderr. Passing nullptr restores the default.
+ */
+using LogSink =
+    std::function<void(LogLevel, const std::string &tag,
+                       const std::string &message)>;
+void setLogSink(LogSink sink);
+
+/** Core emit function; prefer the level helpers below. */
+void logMessage(LogLevel level, const char *tag, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define C4_DEFINE_LOG_HELPER(Name, Level)                                    \
+    template <typename... Args>                                              \
+    void Name(const char *tag, const char *fmt, Args... args)                \
+    {                                                                        \
+        logMessage(LogLevel::Level, tag, fmt, args...);                      \
+    }
+
+C4_DEFINE_LOG_HELPER(logTrace, Trace)
+C4_DEFINE_LOG_HELPER(logDebug, Debug)
+C4_DEFINE_LOG_HELPER(logInfo, Info)
+C4_DEFINE_LOG_HELPER(logWarn, Warn)
+C4_DEFINE_LOG_HELPER(logError, Error)
+
+#undef C4_DEFINE_LOG_HELPER
+
+} // namespace c4
+
+#endif // C4_COMMON_LOG_H

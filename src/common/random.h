@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulator (ECMP hashing noise, fault
+ * arrival processes, compute jitter) flows through Rng so experiments are
+ * reproducible from a single seed. The generator is xoshiro256**, which is
+ * fast, has a 256-bit state and passes BigCrush.
+ */
+
+#ifndef C4_COMMON_RANDOM_H
+#define C4_COMMON_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace c4 {
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be used
+ * with <random> distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via splitmix64 so any 64-bit seed produces a good state. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential variate with the given mean (mean > 0). */
+    double exponential(double mean);
+
+    /** Normal variate (Box-Muller). */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal variate parameterized by the median and the multiplicative
+     * spread sigma (sigma is the stddev of the underlying normal). Used for
+     * human diagnosis times, which are heavy tailed.
+     */
+    double lognormal(double median, double sigma);
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+    /** Poisson-distributed count with the given mean (Knuth / PTRS hybrid). */
+    std::int64_t poisson(double mean);
+
+    /**
+     * Sample an index from a discrete distribution given by non-negative
+     * weights. Returns kInvalidId when all weights are zero.
+     */
+    std::int32_t weightedIndex(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-module streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+
+    bool hasSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+
+    static std::uint64_t splitmix64(std::uint64_t &x);
+};
+
+} // namespace c4
+
+#endif // C4_COMMON_RANDOM_H

@@ -1,0 +1,196 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace c4 {
+
+void
+Summary::add(double v)
+{
+    if (!samples_.empty() && v < samples_.back())
+        sorted_ = false;
+    samples_.push_back(v);
+    sum_ += v;
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    for (double v : other.samples_)
+        add(v);
+}
+
+double
+Summary::mean() const
+{
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(count());
+}
+
+double
+Summary::stddev() const
+{
+    if (count() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(count() - 1));
+}
+
+double
+Summary::min() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double
+Summary::max() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double
+Summary::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(count() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, count() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Summary::cv() const
+{
+    const double m = mean();
+    return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void
+Summary::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0.0;
+}
+
+void
+Summary::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+std::string
+Summary::str() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%zu mean=%.4g sd=%.4g min=%.4g p50=%.4g p99=%.4g "
+                  "max=%.4g",
+                  count(), mean(), stddev(), min(), percentile(50.0),
+                  percentile(99.0), max());
+    return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::add(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::size_t>((v - lo_) / width);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return bucketLo(i + 1);
+}
+
+std::string
+Histogram::str(std::size_t bar_width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream os;
+    char buf[96];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "[%10.4g, %10.4g) %8llu ",
+                      bucketLo(i), bucketHi(i),
+                      static_cast<unsigned long long>(counts_[i]));
+        os << buf;
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(bar_width));
+        os << std::string(bar, '#') << '\n';
+    }
+    if (underflow_ || overflow_) {
+        os << "underflow=" << underflow_ << " overflow=" << overflow_
+           << '\n';
+    }
+    return os.str();
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha)
+{
+    assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+void
+Ewma::add(double v)
+{
+    if (count_ == 0)
+        value_ = v;
+    else
+        value_ = alpha_ * v + (1.0 - alpha_) * value_;
+    ++count_;
+}
+
+void
+Ewma::reset()
+{
+    value_ = 0.0;
+    count_ = 0;
+}
+
+} // namespace c4

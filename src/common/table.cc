@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace c4 {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    Row r;
+    r.cells = std::move(cells);
+    r.cells.resize(headers_.size());
+    rows_.push_back(std::move(r));
+}
+
+void
+AsciiTable::addRule()
+{
+    Row r;
+    r.rule = true;
+    rows_.push_back(std::move(r));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+AsciiTable::percent(double fraction, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+AsciiTable::integer(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+}
+
+std::string
+AsciiTable::str(const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            continue;
+        for (std::size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+
+    auto hline = [&] {
+        std::string s = "+";
+        for (auto w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            s += " " + c + std::string(widths[i] - c.size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << "\n";
+    os << hline() << render_row(headers_) << hline();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            os << hline();
+        else
+            os << render_row(row.cells);
+    }
+    os << hline();
+    return os.str();
+}
+
+} // namespace c4

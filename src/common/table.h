@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table rendering for bench output. Every bench prints the rows of
+ * the paper table/figure it regenerates through this class so the output
+ * is uniform and diff-able against EXPERIMENTS.md.
+ */
+
+#ifndef C4_COMMON_TABLE_H
+#define C4_COMMON_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ *     AsciiTable t({"Task", "Baseline (Gbps)", "C4P (Gbps)"});
+ *     t.addRow({"Task1", "171.9", "353.9"});
+ *     std::cout << t.str();
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+
+    /** @name Cell formatting helpers @{ */
+    static std::string num(double v, int precision = 2);
+    static std::string percent(double fraction, int precision = 2);
+    static std::string integer(std::int64_t v);
+    /** @} */
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render the table with a title line above it (title may be empty). */
+    std::string str(const std::string &title = "") const;
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace c4
+
+#endif // C4_COMMON_TABLE_H

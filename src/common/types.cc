@@ -1,0 +1,65 @@
+#include "common/types.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace c4 {
+
+std::string
+formatBytes(Bytes bytes)
+{
+    static const std::array<const char *, 5> units = {
+        "B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    std::size_t u = 0;
+    while (std::fabs(v) >= 1024.0 && u + 1 < units.size()) {
+        v /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    if (u == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", v, units[u]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+    return buf;
+}
+
+std::string
+formatBandwidth(Bandwidth bw)
+{
+    char buf[64];
+    if (bw >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f Gbps", bw * 1e-9);
+    else if (bw >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f Mbps", bw * 1e-6);
+    else if (bw >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2f Kbps", bw * 1e-3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f bps", bw);
+    return buf;
+}
+
+std::string
+formatDuration(Duration d)
+{
+    char buf[64];
+    const double ns = static_cast<double>(d);
+    if (d == kTimeNever)
+        return "never";
+    if (ns >= 3600e9)
+        std::snprintf(buf, sizeof(buf), "%.2f h", ns / 3600e9);
+    else if (ns >= 60e9)
+        std::snprintf(buf, sizeof(buf), "%.2f min", ns / 60e9);
+    else if (ns >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.3f s", ns * 1e-9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", ns * 1e-6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.3f us", ns * 1e-3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+    return buf;
+}
+
+} // namespace c4

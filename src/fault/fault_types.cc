@@ -1,0 +1,140 @@
+#include "fault/fault_types.h"
+
+#include <cstdio>
+
+namespace c4::fault {
+
+const char *
+faultTypeName(FaultType t)
+{
+    switch (t) {
+      case FaultType::CudaError:    return "cuda-error";
+      case FaultType::EccError:     return "ecc-error";
+      case FaultType::NvlinkError:  return "nvlink-error";
+      case FaultType::NcclTimeout:  return "nccl-timeout";
+      case FaultType::AckTimeout:   return "ack-timeout";
+      case FaultType::NetworkOther: return "network-other";
+      case FaultType::SlowNode:     return "slow-node";
+      case FaultType::SlowNicTx:    return "slow-nic-tx";
+      case FaultType::SlowNicRx:    return "slow-nic-rx";
+      case FaultType::LinkDown:     return "link-down";
+    }
+    return "?";
+}
+
+bool
+faultIsFatal(FaultType t)
+{
+    switch (t) {
+      case FaultType::CudaError:
+      case FaultType::EccError:
+      case FaultType::NvlinkError:
+      case FaultType::NcclTimeout:
+      case FaultType::AckTimeout:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+userVisibleError(FaultType t)
+{
+    // Table I: almost every root cause surfaces as "NCCL Error".
+    switch (t) {
+      case FaultType::CudaError:
+      case FaultType::EccError:
+      case FaultType::NvlinkError:
+      case FaultType::NcclTimeout:
+      case FaultType::AckTimeout:
+        return "NCCL Error";
+      case FaultType::NetworkOther:
+      case FaultType::LinkDown:
+        return "Network Error";
+      case FaultType::SlowNode:
+      case FaultType::SlowNicTx:
+      case FaultType::SlowNicRx:
+        return "(silent slowdown)";
+    }
+    return "?";
+}
+
+double
+faultLocalityPrior(FaultType t)
+{
+    // Table I "Local" column.
+    switch (t) {
+      case FaultType::CudaError:    return 1.0;
+      case FaultType::EccError:     return 1.0;
+      case FaultType::NvlinkError:  return 1.0;
+      case FaultType::NcclTimeout:  return 0.75;
+      case FaultType::AckTimeout:   return 0.818;
+      case FaultType::NetworkOther: return 0.40;
+      case FaultType::SlowNode:     return 1.0;
+      case FaultType::SlowNicTx:    return 1.0;
+      case FaultType::SlowNicRx:    return 1.0;
+      case FaultType::LinkDown:     return 0.0;
+    }
+    return 1.0;
+}
+
+std::string
+FaultEvent::str() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s@%.3fs node=%d nic=%d link=%d sev=%.2f %s",
+                  faultTypeName(type), toSeconds(when), node, nic, link,
+                  severity, isLocal ? "local" : "non-local");
+    return buf;
+}
+
+double
+FaultRates::total() const
+{
+    double t = 0.0;
+    for (double r : perK)
+        t += r;
+    return t;
+}
+
+FaultRates
+FaultRates::scaled(double factor) const
+{
+    FaultRates out = *this;
+    for (double &r : out.perK)
+        r *= factor;
+    return out;
+}
+
+FaultRates
+FaultRates::paperJune2023()
+{
+    // 40 crashes / month at 4096 GPUs ~= 9.77 crashes per 1000 GPUs per
+    // month, split per Table I's cause distribution.
+    constexpr double crashes_per_k = 40.0 / 4.096;
+    FaultRates r;
+    r[FaultType::CudaError] = crashes_per_k * 0.125;
+    r[FaultType::EccError] = crashes_per_k * 0.1375; // half of 27.5%
+    r[FaultType::NvlinkError] = crashes_per_k * 0.1375;
+    r[FaultType::NcclTimeout] = crashes_per_k * 0.20;
+    r[FaultType::AckTimeout] = crashes_per_k * 0.275;
+    r[FaultType::NetworkOther] = crashes_per_k * 0.125;
+    // Background degradations (not crash-counted in Table I).
+    r[FaultType::SlowNode] = 2.0;
+    r[FaultType::SlowNicTx] = 0.8;
+    r[FaultType::SlowNicRx] = 0.8;
+    r[FaultType::LinkDown] = 0.5;
+    return r;
+}
+
+FaultRates
+FaultRates::paperDecember2023()
+{
+    // "the average error rate has decreased by 3.33x, after the most
+    // vulnerable components were identified and enhanced".
+    FaultRates r = paperJune2023().scaled(1.0 / 3.33);
+    return r;
+}
+
+} // namespace c4::fault

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fault injection: one-shot scheduled faults (tests, examples) and
+ * Poisson campaigns over a node population (Table I / Table III
+ * experiments).
+ *
+ * The injector decides *what happens when*; the physical effect is
+ * applied by an Applier callback installed by the cluster runtime, which
+ * routes crash faults into jobs, degradations into the fabric, and link
+ * failures into the topology. This keeps the injector usable standalone
+ * (e.g. the Table I bench only needs the sampled event stream).
+ */
+
+#ifndef C4_FAULT_INJECTOR_H
+#define C4_FAULT_INJECTOR_H
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "fault/fault_types.h"
+#include "sim/simulator.h"
+
+namespace c4::fault {
+
+/** Applies the physical consequence of a fault to the system. */
+using Applier = std::function<void(const FaultEvent &)>;
+
+/** Passive observer of injected faults. */
+using Observer = std::function<void(const FaultEvent &)>;
+
+class FaultInjector
+{
+  public:
+    FaultInjector(Simulator &sim, std::uint64_t seed = 0xFA17FA17ull);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install the effect applier (cluster runtime wiring). */
+    void setApplier(Applier applier) { applier_ = std::move(applier); }
+
+    /** Add a passive observer (telemetry, root-cause records). */
+    void addObserver(Observer observer);
+
+    /**
+     * Schedule one fault at an absolute time. Fields of @p ev other than
+     * `when` are used as-is; `when` must be >= now.
+     */
+    void injectAt(Time when, FaultEvent ev);
+
+    /** Inject immediately. */
+    void injectNow(FaultEvent ev);
+
+    /**
+     * Run a Poisson campaign: for each category, events arrive at
+     * rate[type] per 1000 GPUs per 30 days over the given population,
+     * for @p duration starting now. Targets (node / NIC / severity /
+     * locality) are sampled uniformly.
+     *
+     * @param rates per-category rates
+     * @param nodes candidate victim nodes
+     * @param nicsPerNode NIC count for NIC-scoped faults
+     * @param gpusPerNode population scaling for the per-1000-GPU rates
+     * @param numTrunks candidate trunk-link count for LinkDown (the
+     *        applier maps the sampled index to a LinkId)
+     * @param duration campaign length
+     * @return number of events scheduled
+     */
+    std::size_t startCampaign(const FaultRates &rates,
+                              const std::vector<NodeId> &nodes,
+                              int nicsPerNode, int gpusPerNode,
+                              int numTrunks, Duration duration);
+
+    /** All events injected so far (applied ones only). */
+    const std::vector<FaultEvent> &history() const { return history_; }
+
+    /** RNG access, e.g. for samplers that need the same stream. */
+    Rng &rng() { return rng_; }
+
+  private:
+    Simulator &sim_;
+    Rng rng_;
+    Applier applier_;
+    std::vector<Observer> observers_;
+    std::vector<FaultEvent> history_;
+
+    void fire(FaultEvent ev);
+};
+
+} // namespace c4::fault
+
+#endif // C4_FAULT_INJECTOR_H

@@ -1,0 +1,476 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+
+namespace c4::net {
+
+namespace {
+
+/** Flows with fewer remaining bytes than this are complete. */
+constexpr double kByteEpsilon = 0.5;
+
+/** A link allocated beyond this fraction of capacity is congested. */
+constexpr double kCongestedFraction = 0.999;
+
+} // namespace
+
+Fabric::Fabric(Simulator &sim, Topology &topo, FabricConfig cfg,
+               std::uint64_t seed)
+    : sim_(sim), topo_(topo), selector_(topo), cfg_(cfg), rng_(seed),
+      linkAlloc_(topo.numLinks(), 0.0),
+      linkDemand_(topo.numLinks(), 0.0),
+      linkCongested_(topo.numLinks(), false),
+      scratchMembers_(topo.numLinks()),
+      scratchCap_(topo.numLinks(), 0.0),
+      scratchUnfixed_(topo.numLinks(), 0)
+{
+}
+
+FlowId
+Fabric::admit(FlowState state)
+{
+    state.id = nextFlowId_++;
+    state.startTime = sim_.now();
+    const FlowId id = state.id;
+    flows_.emplace(id, std::move(state));
+    ++started_;
+    markDirty();
+    return id;
+}
+
+FlowId
+Fabric::startFlow(const PathRequest &req, Bytes bytes, FlowCallback done)
+{
+    assert(bytes > 0);
+    FlowState st;
+    st.req = req;
+    st.hasReq = true;
+    st.route = selector_.select(req);
+    st.remaining = static_cast<double>(bytes);
+    st.total = bytes;
+    st.done = std::move(done);
+    if (!st.route.valid()) {
+        logDebug("fabric", "flow admitted stalled (no healthy path) "
+                 "src=n%d dst=n%d", req.srcNode, req.dstNode);
+    }
+    return admit(std::move(st));
+}
+
+FlowId
+Fabric::startFlowOnRoute(Route route, Bytes bytes, FlowCallback done)
+{
+    assert(bytes > 0);
+    FlowState st;
+    st.route = std::move(route);
+    st.remaining = static_cast<double>(bytes);
+    st.total = bytes;
+    st.done = std::move(done);
+    return admit(std::move(st));
+}
+
+bool
+Fabric::abortFlow(FlowId id)
+{
+    flush();
+    const bool existed = flows_.erase(id) > 0;
+    if (existed)
+        markDirty();
+    return existed;
+}
+
+void
+Fabric::stallFlow(FlowId id)
+{
+    flush();
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return;
+    it->second.stalled = true;
+    markDirty();
+}
+
+void
+Fabric::resumeFlow(FlowId id)
+{
+    flush();
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return;
+    it->second.stalled = false;
+    markDirty();
+}
+
+void
+Fabric::setLinkUp(LinkId id, bool up)
+{
+    flush();
+    if (topo_.link(id).up == up)
+        return;
+    topo_.setLinkUp(id, up);
+    if (!up)
+        rerouteFlowsTouching(id);
+    else
+        reresolveStalledFlows();
+    markDirty();
+}
+
+void
+Fabric::setLinkCapacityScale(LinkId id, double scale)
+{
+    flush();
+    topo_.setLinkCapacityScale(id, scale);
+    markDirty();
+}
+
+void
+Fabric::rerouteFlowsTouching(LinkId id)
+{
+    for (auto &[fid, flow] : flows_) {
+        const auto &links = flow.route.links;
+        if (std::find(links.begin(), links.end(), id) == links.end())
+            continue;
+        if (flow.hasReq) {
+            // ECMP rehash among the surviving next hops: deterministic
+            // per flow, so rerouted flows can concentrate (Fig. 13a).
+            flow.route = selector_.select(flow.req);
+        } else {
+            flow.route = Route{}; // explicit route died with the link
+        }
+    }
+}
+
+void
+Fabric::reresolveStalledFlows()
+{
+    for (auto &[fid, flow] : flows_) {
+        if (!flow.route.valid() && flow.hasReq)
+            flow.route = selector_.select(flow.req);
+    }
+}
+
+void
+Fabric::advanceProgress()
+{
+    const Time now = sim_.now();
+    const double dt = toSeconds(now - lastAdvance_);
+    if (dt > 0.0) {
+        for (auto &[id, flow] : flows_) {
+            if (flow.rate > 0.0)
+                flow.remaining =
+                    std::max(0.0, flow.remaining - flow.rate * dt / 8.0);
+        }
+    }
+    lastAdvance_ = now;
+}
+
+void
+Fabric::markDirty()
+{
+    if (dirty_)
+        return;
+    dirty_ = true;
+    // Defer to the end of the current instant so a batch of flow starts
+    // (one collective round) costs a single re-allocation.
+    recomputeEvent_ = sim_.scheduleAfter(0, [this] {
+        if (dirty_)
+            recompute();
+    });
+}
+
+void
+Fabric::flush()
+{
+    if (dirty_)
+        recompute();
+}
+
+void
+Fabric::recompute()
+{
+    advanceProgress();
+    dirty_ = false;
+    if (recomputeEvent_ != kInvalidEvent) {
+        sim_.cancel(recomputeEvent_);
+        recomputeEvent_ = kInvalidEvent;
+    }
+    ++reallocations_;
+
+    // Clear only the state the previous allocation touched.
+    for (int l : scratchActiveLinks_) {
+        const auto li = static_cast<std::size_t>(l);
+        linkAlloc_[li] = 0.0;
+        linkDemand_[li] = 0.0;
+        linkCongested_[li] = false;
+        scratchMembers_[li].clear();
+        scratchCap_[li] = 0.0;
+        scratchUnfixed_[li] = 0;
+    }
+    scratchActiveLinks_.clear();
+    scratchRunnable_.clear();
+
+    // Gather runnable flows and per-link membership.
+    std::vector<FlowState *> &runnable = scratchRunnable_;
+    runnable.reserve(flows_.size());
+    for (auto &[id, flow] : flows_) {
+        flow.rate = 0.0;
+        flow.cnpRate = 0.0;
+        if (flow.stalled || !flow.route.valid() ||
+            flow.remaining <= kByteEpsilon) {
+            continue;
+        }
+        flow.rate = -1.0; // sentinel: not yet fixed by progressive filling
+        runnable.push_back(&flow);
+    }
+
+    std::vector<std::vector<FlowState *>> &members = scratchMembers_;
+    std::vector<double> &cap = scratchCap_;
+    std::vector<int> &unfixed = scratchUnfixed_;
+    std::vector<int> &activeLinks = scratchActiveLinks_;
+
+    for (FlowState *f : runnable) {
+        // Unconstrained demand: what the sender would inject absent
+        // congestion control — its NIC port rate (DCQCN senders start
+        // at line rate). Downstream links may then be oversubscribed,
+        // which is what the CNP model keys off.
+        const double desired =
+            topo_.link(f->route.links.front()).effectiveCapacity();
+        for (LinkId l : f->route.links) {
+            auto li = static_cast<std::size_t>(l);
+            if (members[li].empty()) {
+                activeLinks.push_back(l);
+                cap[li] = topo_.link(l).effectiveCapacity();
+            }
+            members[li].push_back(f);
+            ++unfixed[li];
+            linkDemand_[li] += desired;
+        }
+    }
+    for (int l : activeLinks) {
+        auto li = static_cast<std::size_t>(l);
+        const double c = topo_.link(l).effectiveCapacity();
+        linkDemand_[li] = c > 0.0 ? linkDemand_[li] / c : 0.0;
+    }
+
+    // Progressive filling: repeatedly saturate the most constrained link.
+    std::size_t fixed_count = 0;
+    while (fixed_count < runnable.size()) {
+        double best_fair = std::numeric_limits<double>::infinity();
+        int best_link = kInvalidId;
+        for (int l : activeLinks) {
+            auto li = static_cast<std::size_t>(l);
+            if (unfixed[li] <= 0)
+                continue;
+            const double fair =
+                std::max(0.0, cap[li]) / static_cast<double>(unfixed[li]);
+            if (fair < best_fair) {
+                best_fair = fair;
+                best_link = l;
+            }
+        }
+        if (best_link == kInvalidId) {
+            // Remaining flows saw no constraining link; treat as idle.
+            for (FlowState *f : runnable) {
+                if (f->rate < 0.0) {
+                    f->rate = 0.0;
+                    ++fixed_count;
+                }
+            }
+            break;
+        }
+
+        for (FlowState *f : members[static_cast<std::size_t>(best_link)]) {
+            if (f->rate >= 0.0)
+                continue; // already fixed
+            ++fixed_count;
+            f->rate = best_fair;
+            for (LinkId l : f->route.links) {
+                auto li = static_cast<std::size_t>(l);
+                cap[li] -= best_fair;
+                --unfixed[li];
+            }
+        }
+    }
+
+    // Post-pass: link allocation totals, congestion flags, CNP rates,
+    // and the DCQCN sender-side jitter.
+    for (FlowState *f : runnable) {
+        for (LinkId l : f->route.links)
+            linkAlloc_[static_cast<std::size_t>(l)] += f->rate;
+    }
+    for (int l : activeLinks) {
+        auto li = static_cast<std::size_t>(l);
+        const double c = topo_.link(l).effectiveCapacity();
+        linkCongested_[li] =
+            c > 0.0 && linkAlloc_[li] >= kCongestedFraction * c;
+    }
+    for (FlowState *f : runnable) {
+        double overload = 0.0;
+        bool congested = false;
+        for (LinkId l : f->route.links) {
+            auto li = static_cast<std::size_t>(l);
+            if (linkCongested_[li]) {
+                congested = true;
+                overload = std::max(overload, linkDemand_[li] - 1.0);
+            }
+        }
+        if (congested) {
+            f->cnpRate = cfg_.cnpRatePerOverload * std::max(0.0, overload) *
+                         (1.0 + cfg_.cnpNoise * (2.0 * rng_.uniform() - 1.0));
+            if (cfg_.congestionJitter) {
+                // DCQCN rate reduction has a per-QP persistent bias
+                // (each sender's CNP cadence differs) plus temporal
+                // noise; the bias is what spreads task averages apart
+                // in the paper's Fig. 10b.
+                std::uint32_t h = f->req.flowLabel * 0x9E3779B9u + 0x7F;
+                h ^= h >> 15;
+                h *= 0x85EBCA6Bu;
+                h ^= h >> 13;
+                const double stable =
+                    static_cast<double>(h % 1024u) / 1023.0;
+                const double u =
+                    0.5 * stable + 0.5 * rng_.uniform();
+                f->rate *= 1.0 - cfg_.jitterMax * u;
+            }
+        }
+    }
+
+    // Schedule the next completion.
+    if (completionEvent_ != kInvalidEvent) {
+        sim_.cancel(completionEvent_);
+        completionEvent_ = kInvalidEvent;
+    }
+    Time next = kTimeNever;
+    for (FlowState *f : runnable) {
+        if (f->rate <= 0.0)
+            continue;
+        const double secs = f->remaining * 8.0 / f->rate;
+        const Time t =
+            sim_.now() +
+            std::max<Duration>(1, static_cast<Duration>(secs * 1e9));
+        next = std::min(next, t);
+    }
+    // Flows that were already at (or below) epsilon complete now.
+    for (auto &[id, flow] : flows_) {
+        if (flow.remaining <= kByteEpsilon) {
+            next = sim_.now();
+            break;
+        }
+    }
+    if (next != kTimeNever) {
+        completionEvent_ =
+            sim_.scheduleAt(next, [this] { onCompletionEvent(); });
+    }
+}
+
+void
+Fabric::onCompletionEvent()
+{
+    completionEvent_ = kInvalidEvent;
+    advanceProgress();
+
+    std::vector<FlowState> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= kByteEpsilon) {
+            done.push_back(std::move(it->second));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    completed_ += done.size();
+
+    markDirty();
+
+    // Invoke callbacks last: they commonly start the next round's flows,
+    // which fold into the already-scheduled deferred recompute.
+    for (auto &flow : done) {
+        if (flow.done) {
+            FlowEnd end;
+            end.id = flow.id;
+            end.startTime = flow.startTime;
+            end.endTime = sim_.now();
+            end.bytes = flow.total;
+            flow.done(end);
+        }
+    }
+}
+
+std::size_t
+Fabric::activeFlowCount() const
+{
+    return flows_.size();
+}
+
+bool
+Fabric::flowActive(FlowId id) const
+{
+    return flows_.count(id) > 0;
+}
+
+Bandwidth
+Fabric::flowRate(FlowId id)
+{
+    flush();
+    auto it = flows_.find(id);
+    return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+const Route *
+Fabric::flowRoute(FlowId id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? nullptr : &it->second.route;
+}
+
+Bytes
+Fabric::flowRemaining(FlowId id)
+{
+    flush();
+    advanceProgress();
+    auto it = flows_.find(id);
+    return it == flows_.end()
+               ? 0
+               : static_cast<Bytes>(std::ceil(it->second.remaining));
+}
+
+Bandwidth
+Fabric::linkThroughput(LinkId id)
+{
+    flush();
+    return linkAlloc_[static_cast<std::size_t>(id)];
+}
+
+bool
+Fabric::linkCongested(LinkId id)
+{
+    flush();
+    return linkCongested_[static_cast<std::size_t>(id)];
+}
+
+double
+Fabric::linkDemandRatio(LinkId id)
+{
+    flush();
+    return linkDemand_[static_cast<std::size_t>(id)];
+}
+
+double
+Fabric::nicCnpRate(NodeId node, NicId nic)
+{
+    flush();
+    double rate = 0.0;
+    for (const auto &[id, flow] : flows_) {
+        if (flow.hasReq && flow.req.srcNode == node &&
+            flow.req.srcNic == nic) {
+            rate += flow.cnpRate;
+        }
+    }
+    return rate;
+}
+
+} // namespace c4::net

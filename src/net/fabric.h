@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Flow-level (fluid) fabric simulator.
+ *
+ * Flows are (route, bytes) pairs. At any instant, active flow rates are
+ * the max-min fair allocation over directed link capacities (progressive
+ * filling). The engine is event driven: it advances to the next flow
+ * completion; starting/aborting a flow, failing a link, or scaling a
+ * link's capacity triggers re-allocation.
+ *
+ * This granularity is exactly what C4 observes in production: message
+ * completion times, per-port throughput, and CNP (Congestion Notification
+ * Packet) rates. A DCQCN-style congestion model overlays the fair-share
+ * allocation: flows crossing saturated links receive CNPs and exhibit a
+ * small sender-side rate fluctuation (paper Fig. 11's 12.5-17.5 kp/s band
+ * and Fig. 10b's residual spread).
+ */
+
+#ifndef C4_NET_FABRIC_H
+#define C4_NET_FABRIC_H
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace c4::net {
+
+/** Tunables of the congestion / CNP overlay. */
+struct FabricConfig
+{
+    /**
+     * Enable DCQCN-style sender rate fluctuation on congested paths.
+     * Off, the allocation is the pure max-min fair share.
+     */
+    bool congestionJitter = true;
+
+    /** Max fractional rate reduction due to congestion control. */
+    double jitterMax = 0.06;
+
+    /**
+     * CNPs per second delivered to a flow per unit of overload
+     * (demand/capacity - 1) on its bottleneck link. A bonded port
+     * carries one flow per plane, so 7500 per flow puts the Fig. 10b/11
+     * setup at ~15 kp/s per port (the paper's 12.5-17.5 band).
+     */
+    double cnpRatePerOverload = 7500.0;
+
+    /** Multiplicative noise applied to CNP rates on each re-allocation. */
+    double cnpNoise = 0.15;
+};
+
+/** Completion notice passed to a flow's callback. */
+struct FlowEnd
+{
+    FlowId id = kInvalidId;
+    Time startTime = 0;
+    Time endTime = 0;
+    Bytes bytes = 0;
+
+    Duration duration() const { return endTime - startTime; }
+
+    /** Achieved goodput in bits/s. */
+    Bandwidth
+    achievedRate() const
+    {
+        const Duration d = duration();
+        return d > 0 ? static_cast<double>(bytes) * 8.0 /
+                           toSeconds(d)
+                     : 0.0;
+    }
+};
+
+using FlowCallback = std::function<void(const FlowEnd &)>;
+
+/**
+ * The fluid flow engine. Owns no topology; mutates only link state via
+ * the Topology reference (on behalf of callers) and its own flow table.
+ */
+class Fabric
+{
+  public:
+    /**
+     * @param sim event engine (must outlive the fabric)
+     * @param topo wiring; the fabric registers no callbacks, callers must
+     *        route link failures through Fabric::setLinkUp so flows reroute
+     * @param cfg congestion model tunables
+     * @param seed RNG stream for jitter/CNP noise
+     */
+    Fabric(Simulator &sim, Topology &topo, FabricConfig cfg = {},
+           std::uint64_t seed = 0xC4C4C4C4ull);
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    /**
+     * Start a flow described by a routing request. The route is resolved
+     * immediately; if no healthy path exists the flow is admitted in a
+     * stalled state (rate 0) and will be re-resolved when link state
+     * changes — mirroring an RDMA QP retrying on a black-holed path.
+     *
+     * @return the flow id (always valid).
+     */
+    FlowId startFlow(const PathRequest &req, Bytes bytes,
+                     FlowCallback done);
+
+    /** Start a flow on an explicit route (used by the C4P path prober). */
+    FlowId startFlowOnRoute(Route route, Bytes bytes, FlowCallback done);
+
+    /**
+     * Abort a flow; its callback is not invoked.
+     * @return true if the flow existed.
+     */
+    bool abortFlow(FlowId id);
+
+    /** Force a flow's rate to zero (fault injection: ACK timeout). */
+    void stallFlow(FlowId id);
+
+    /** Undo stallFlow. */
+    void resumeFlow(FlowId id);
+
+    /**
+     * Bring a link up/down. Downing reroutes affected flows via ECMP
+     * rehash among survivors (or stalls them when no path remains);
+     * restoring re-resolves all request-backed flows.
+     */
+    void setLinkUp(LinkId id, bool up);
+
+    /** Degrade (or restore) a link's capacity; flows keep their routes. */
+    void setLinkCapacityScale(LinkId id, double scale);
+
+    /** @name Introspection (forces a consistent allocation first) @{ */
+    std::size_t activeFlowCount() const;
+    bool flowActive(FlowId id) const;
+    Bandwidth flowRate(FlowId id);
+    const Route *flowRoute(FlowId id) const;
+    Bytes flowRemaining(FlowId id);
+
+    /** Instantaneous allocated rate through a link. */
+    Bandwidth linkThroughput(LinkId id);
+
+    /** True if the link is allocated to (nearly) full capacity. */
+    bool linkCongested(LinkId id);
+
+    /** Sum of flows' unconstrained demands divided by capacity. */
+    double linkDemandRatio(LinkId id);
+
+    /**
+     * CNPs per second currently delivered to the sender-side bonded port
+     * (NIC) — the paper's Fig. 11 metric. Aggregates both planes.
+     */
+    double nicCnpRate(NodeId node, NicId nic);
+
+    std::uint64_t totalFlowsCompleted() const { return completed_; }
+    std::uint64_t totalFlowsStarted() const { return started_; }
+    std::uint64_t reallocationCount() const { return reallocations_; }
+    /** @} */
+
+    const Topology &topology() const { return topo_; }
+    Simulator &simulator() { return sim_; }
+
+  private:
+    struct FlowState
+    {
+        FlowId id = kInvalidId;
+        PathRequest req;
+        bool hasReq = false;
+        Route route;
+        double remaining = 0.0; // bytes
+        Bytes total = 0;
+        Time startTime = 0;
+        double rate = 0.0; // bits/s
+        double cnpRate = 0.0;
+        bool stalled = false;
+        FlowCallback done;
+    };
+
+    Simulator &sim_;
+    Topology &topo_;
+    PathSelector selector_;
+    FabricConfig cfg_;
+    Rng rng_;
+
+    std::unordered_map<FlowId, FlowState> flows_;
+    FlowId nextFlowId_ = 1;
+
+    Time lastAdvance_ = 0;
+    bool dirty_ = false;
+    EventId recomputeEvent_ = kInvalidEvent;
+    EventId completionEvent_ = kInvalidEvent;
+
+    std::vector<double> linkAlloc_;  // bits/s currently allocated
+    std::vector<double> linkDemand_; // demand ratio
+    std::vector<bool> linkCongested_;
+
+    // Reused allocation scratch (recompute runs on every flow event;
+    // per-call vector-of-vectors allocation dominated profiles).
+    std::vector<std::vector<FlowState *>> scratchMembers_;
+    std::vector<double> scratchCap_;
+    std::vector<int> scratchUnfixed_;
+    std::vector<int> scratchActiveLinks_;
+    std::vector<FlowState *> scratchRunnable_;
+
+    std::uint64_t completed_ = 0;
+    std::uint64_t started_ = 0;
+    std::uint64_t reallocations_ = 0;
+
+    FlowId admit(FlowState state);
+
+    /** Apply elapsed time to flows' remaining bytes. */
+    void advanceProgress();
+
+    /** Mark allocation stale and schedule a recompute at now. */
+    void markDirty();
+
+    /** Recompute fair-share rates and schedule the next completion. */
+    void recompute();
+
+    /** Ensure rates are consistent before a query. */
+    void flush();
+
+    /** Fire completions whose remaining bytes reached zero. */
+    void onCompletionEvent();
+
+    void rerouteFlowsTouching(LinkId id);
+    void reresolveStalledFlows();
+};
+
+} // namespace c4::net
+
+#endif // C4_NET_FABRIC_H

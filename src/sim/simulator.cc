@@ -1,0 +1,136 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace c4 {
+
+EventId
+Simulator::scheduleAt(Time when, Callback fn)
+{
+    assert(fn);
+    if (when < now_)
+        when = now_; // clamp: events cannot fire in the past
+    const EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id});
+    live_.emplace(id, std::move(fn));
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(Duration delay, Callback fn)
+{
+    assert(delay >= 0);
+    // Saturate instead of overflowing for "never"-ish delays.
+    const Time when =
+        delay >= kTimeNever - now_ ? kTimeNever : now_ + delay;
+    return scheduleAt(when, std::move(fn));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    return live_.erase(id) > 0;
+}
+
+bool
+Simulator::pending(EventId id) const
+{
+    return live_.count(id) > 0;
+}
+
+std::size_t
+Simulator::pendingCount() const
+{
+    return live_.size();
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        Entry top = queue_.top();
+        queue_.pop();
+        auto it = live_.find(top.id);
+        if (it == live_.end())
+            continue; // cancelled; skip tombstone
+        Callback fn = std::move(it->second);
+        live_.erase(it);
+        now_ = top.when;
+        ++executed_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Simulator::run(Time until)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        // Peek past tombstones to find the next live event time.
+        while (!queue_.empty() && !live_.count(queue_.top().id))
+            queue_.pop();
+        if (queue_.empty())
+            break;
+        if (queue_.top().when > until)
+            break;
+        if (step())
+            ++n;
+    }
+    if (until != kTimeNever && now_ < until)
+        now_ = until;
+    return n;
+}
+
+void
+Simulator::clear()
+{
+    queue_ = {};
+    live_.clear();
+}
+
+PeriodicTask::PeriodicTask(Simulator &sim, Duration period, Callback fn)
+    : sim_(sim), period_(period), fn_(std::move(fn))
+{
+    assert(period_ > 0);
+    assert(fn_);
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    stop();
+}
+
+void
+PeriodicTask::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    pendingEvent_ = sim_.scheduleAfter(period_, [this] { fire(); });
+}
+
+void
+PeriodicTask::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sim_.cancel(pendingEvent_);
+    pendingEvent_ = kInvalidEvent;
+}
+
+void
+PeriodicTask::fire()
+{
+    if (!running_)
+        return;
+    ++invocations_;
+    fn_();
+    if (running_)
+        pendingEvent_ = sim_.scheduleAfter(period_, [this] { fire(); });
+}
+
+} // namespace c4

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * Every dynamic component of the reproduction (fabric flow completions,
+ * collective rounds, fault arrivals, C4D polling, checkpoint timers) is an
+ * event on a single Simulator. Events at equal timestamps fire in
+ * scheduling order, which keeps runs deterministic for a given seed.
+ */
+
+#ifndef C4_SIM_SIMULATOR_H
+#define C4_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace c4 {
+
+/** Opaque handle identifying a scheduled event, used for cancellation. */
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+/**
+ * The event-driven simulation kernel.
+ *
+ * Not thread-safe by design: a simulation run is a single logical timeline.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when (>= now).
+     * @return a handle that can be passed to cancel().
+     */
+    EventId scheduleAt(Time when, Callback fn);
+
+    /** Schedule @p fn to run @p delay after now. */
+    EventId scheduleAfter(Duration delay, Callback fn);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or invalid
+     * handle is a harmless no-op.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True if the event is still pending. */
+    bool pending(EventId id) const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingCount() const;
+
+    /**
+     * Run until the queue is empty or @p until is reached. Events scheduled
+     * exactly at @p until are executed. Advances now() to the later of the
+     * last event time and @p until (when until is bounded).
+     * @return number of events executed.
+     */
+    std::uint64_t run(Time until = kTimeNever);
+
+    /**
+     * Execute exactly the next event, if any.
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /** Drop all pending events without running them. */
+    void clear();
+
+    /** Total events executed over the simulator's lifetime. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq; // tie-break: FIFO among same-time events
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    // id -> callback for live events; absence means cancelled/fired.
+    std::unordered_map<EventId, Callback> live_;
+};
+
+/**
+ * Helper that reschedules itself at a fixed period until stopped; used by
+ * the C4 agents (stats export) and the C4D master (health evaluation).
+ */
+class PeriodicTask
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param sim simulator to schedule on (must outlive the task)
+     * @param period interval between invocations
+     * @param fn callback invoked every period
+     */
+    PeriodicTask(Simulator &sim, Duration period, Callback fn);
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask &) = delete;
+    PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+    /** Begin firing, first invocation one period from now. */
+    void start();
+
+    /** Stop firing; may be restarted. */
+    void stop();
+
+    bool running() const { return running_; }
+    std::uint64_t invocations() const { return invocations_; }
+
+  private:
+    Simulator &sim_;
+    Duration period_;
+    Callback fn_;
+    EventId pendingEvent_ = kInvalidEvent;
+    bool running_ = false;
+    std::uint64_t invocations_ = 0;
+
+    void fire();
+};
+
+} // namespace c4
+
+#endif // C4_SIM_SIMULATOR_H

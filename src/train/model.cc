@@ -1,0 +1,67 @@
+#include "train/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace c4::train {
+
+ModelConfig
+gpt22b()
+{
+    ModelConfig m;
+    m.name = "GPT-22B";
+    m.params = 22e9;
+    m.microbatchCompute = milliseconds(4200);
+    m.activationBytes = mib(64);
+    m.tpBytesPerMicrobatch = mib(512);
+    return m;
+}
+
+ModelConfig
+gpt175b()
+{
+    ModelConfig m;
+    m.name = "GPT-175B";
+    m.params = 175e9;
+    m.microbatchCompute = milliseconds(33000);
+    m.activationBytes = mib(128);
+    m.tpBytesPerMicrobatch = mib(1024);
+    return m;
+}
+
+ModelConfig
+llama7b()
+{
+    ModelConfig m;
+    m.name = "Llama-7B";
+    m.params = 7e9;
+    m.microbatchCompute = milliseconds(1350);
+    m.activationBytes = mib(32);
+    m.tpBytesPerMicrobatch = mib(256);
+    return m;
+}
+
+ModelConfig
+llama13b()
+{
+    ModelConfig m;
+    m.name = "Llama-13B";
+    m.params = 13e9;
+    m.microbatchCompute = milliseconds(2500);
+    m.activationBytes = mib(48);
+    m.tpBytesPerMicrobatch = mib(384);
+    return m;
+}
+
+Duration
+microbatchComputeTime(const ModelConfig &model, int tp, int pp)
+{
+    assert(tp >= 1 && pp >= 1);
+    const double scale = static_cast<double>(tp) * pp;
+    return std::max<Duration>(
+        milliseconds(1),
+        static_cast<Duration>(
+            static_cast<double>(model.microbatchCompute) / scale));
+}
+
+} // namespace c4::train

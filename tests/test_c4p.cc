@@ -1,0 +1,297 @@
+/**
+ * @file
+ * C4P subsystem tests: path probing, the master's three allocation rules
+ * (fault elimination, dual-port balance, spine balance), and dynamic
+ * load balance re-pinning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "c4p/master.h"
+#include "c4p/prober.h"
+#include "net/fabric.h"
+
+namespace c4::c4p {
+namespace {
+
+using accl::ConnContext;
+using accl::PathDecision;
+
+net::TopologyConfig
+testbed()
+{
+    net::TopologyConfig tc;
+    tc.numNodes = 16;
+    tc.nodesPerSegment = 4;
+    tc.numSpines = 8;
+    return tc;
+}
+
+ConnContext
+crossSegmentCtx(int channel = 0, int qp = 0, NodeId src = 0,
+                NodeId dst = 4)
+{
+    ConnContext ctx;
+    ctx.job = 1;
+    ctx.comm = 1;
+    ctx.channel = channel;
+    ctx.qpIndex = qp;
+    ctx.srcNode = src;
+    ctx.srcNic = 0;
+    ctx.dstNode = dst;
+    ctx.dstNic = 0;
+    return ctx;
+}
+
+TEST(Prober, AllHealthyCatalog)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    net::Fabric fabric(sim, topo);
+    PathProber prober(sim, fabric);
+
+    bool done = false;
+    prober.probe([&](const ProbeCatalog &catalog) {
+        done = true;
+        EXPECT_EQ(catalog.numLeaves, 8);
+        EXPECT_EQ(catalog.numSpines, 8);
+        EXPECT_EQ(catalog.healthyUplinkCount(), 64u);
+        EXPECT_EQ(catalog.healthySpines(0, 2).size(), 8u);
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(prober.probesSent(), 64u);
+}
+
+TEST(Prober, DetectsDeadTrunk)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    net::Fabric fabric(sim, topo);
+    fabric.setLinkUp(topo.trunkUplink(0, 3), false);
+
+    PathProber prober(sim, fabric);
+    bool done = false;
+    prober.probe([&](const ProbeCatalog &catalog) {
+        done = true;
+        EXPECT_FALSE(catalog.uplink(0, 3));
+        EXPECT_TRUE(catalog.uplink(0, 2));
+        EXPECT_TRUE(catalog.uplink(1, 3));
+        const auto healthy = catalog.healthySpines(0, 2);
+        EXPECT_EQ(healthy.size(), 7u);
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Prober, ManagementViewMatchesTopology)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    net::Fabric fabric(sim, topo);
+    topo.setLinkUp(topo.trunkDownlink(5, 2), false);
+    const ProbeCatalog catalog =
+        PathProber(sim, fabric).managementView();
+    EXPECT_FALSE(catalog.downlink(5, 2));
+    EXPECT_TRUE(catalog.downlink(5, 3));
+}
+
+TEST(C4pMaster, DualPortRulePinsRxPlane)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pMaster master(sim, topo);
+
+    for (int channel = 0; channel < 2; ++channel) {
+        const PathDecision d =
+            master.decide(crossSegmentCtx(channel, 0));
+        ASSERT_NE(d.rxPlane, kInvalidId);
+        EXPECT_EQ(d.rxPlane, net::planeIndex(d.txPlane));
+    }
+}
+
+TEST(C4pMaster, DualPortRuleCanBeDisabled)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pConfig cfg;
+    cfg.balanceDualPort = false;
+    C4pMaster master(sim, topo, cfg);
+    EXPECT_EQ(master.decide(crossSegmentCtx()).rxPlane, kInvalidId);
+}
+
+TEST(C4pMaster, SpineBalanceSpreadsQps)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pMaster master(sim, topo);
+
+    // 16 QPs from segment 0 to segment 1, all on the left plane
+    // (channel 0): must spread 2-per-spine across the 8 spines.
+    std::map<int, int> spine_counts;
+    for (int i = 0; i < 16; ++i) {
+        ConnContext ctx = crossSegmentCtx(0, 0, /*src=*/0, /*dst=*/4);
+        ctx.comm = i; // distinct QP identities
+        const PathDecision d = master.decide(ctx);
+        ASSERT_NE(d.spine, kInvalidId);
+        ++spine_counts[d.spine];
+    }
+    EXPECT_EQ(spine_counts.size(), 8u);
+    for (const auto &[spine, count] : spine_counts)
+        EXPECT_EQ(count, 2);
+    EXPECT_EQ(master.allocations(), 16u);
+}
+
+TEST(C4pMaster, LoadAccountingReleases)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pMaster master(sim, topo);
+
+    ConnContext ctx = crossSegmentCtx();
+    const PathDecision d = master.decide(ctx);
+    const int tx_leaf = topo.leafIndex(0, d.txPlane);
+    EXPECT_EQ(master.uplinkLoad(tx_leaf, d.spine), 1);
+    master.release(ctx, d);
+    EXPECT_EQ(master.uplinkLoad(tx_leaf, d.spine), 0);
+    EXPECT_EQ(master.releases(), 1u);
+}
+
+TEST(C4pMaster, AvoidsFaultyTrunksAtAllocation)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pMaster master(sim, topo);
+
+    // Kill spine 0 and 1 uplinks from segment 0's left leaf.
+    const int tx_leaf = topo.leafIndex(0, net::Plane::Left);
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, 0), false);
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, 1), false);
+
+    for (int i = 0; i < 12; ++i) {
+        ConnContext ctx = crossSegmentCtx(0, 0);
+        ctx.comm = i;
+        const PathDecision d = master.decide(ctx);
+        // Channel 0 departs the left plane from segment 0.
+        EXPECT_NE(d.spine, 0);
+        EXPECT_NE(d.spine, 1);
+    }
+}
+
+TEST(C4pMaster, IntraSegmentNeedsNoSpine)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pMaster master(sim, topo);
+    const PathDecision d =
+        master.decide(crossSegmentCtx(0, 0, /*src=*/0, /*dst=*/1));
+    EXPECT_EQ(d.spine, kInvalidId); // same segment: leaf-local
+    EXPECT_NE(d.rxPlane, kInvalidId);
+}
+
+TEST(C4pMaster, DynamicRebalanceRepinsDeadSpine)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pConfig cfg;
+    cfg.dynamicLoadBalance = true;
+    cfg.rebalanceCooldown = 0;
+    C4pMaster master(sim, topo, cfg);
+
+    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0)};
+    std::vector<PathDecision> decisions = {master.decide(ctxs[0])};
+    std::vector<double> weights = {1.0};
+    const int original = decisions[0].spine;
+    ASSERT_NE(original, kInvalidId);
+
+    // Feed some rate so the rebalance has data, then kill the trunk.
+    accl::PathFeedback fb;
+    fb.achievedRate = gbps(200);
+    fb.bytes = mib(8);
+    fb.duration = milliseconds(1);
+    master.feedback(ctxs[0], decisions[0], fb);
+
+    const int tx_leaf = topo.leafIndex(0, decisions[0].txPlane);
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, original), false);
+
+    EXPECT_TRUE(master.rebalance(ctxs, decisions, weights));
+    EXPECT_NE(decisions[0].spine, original);
+    EXPECT_GE(master.repins(), 1u);
+}
+
+TEST(C4pMaster, DynamicRebalanceMovesSlowQp)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pConfig cfg;
+    cfg.dynamicLoadBalance = true;
+    cfg.rebalanceCooldown = 0;
+    cfg.rebalanceRatio = 1.3;
+    C4pMaster master(sim, topo, cfg);
+
+    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0),
+                                     crossSegmentCtx(0, 1)};
+    std::vector<PathDecision> decisions = {master.decide(ctxs[0]),
+                                           master.decide(ctxs[1])};
+    std::vector<double> weights = {1.0, 1.0};
+
+    accl::PathFeedback fast;
+    fast.achievedRate = gbps(200);
+    accl::PathFeedback slow;
+    slow.achievedRate = gbps(60);
+    master.feedback(ctxs[0], decisions[0], fast);
+    master.feedback(ctxs[1], decisions[1], slow);
+
+    const int slow_spine = decisions[1].spine;
+    EXPECT_TRUE(master.rebalance(ctxs, decisions, weights));
+    EXPECT_NE(decisions[1].spine, slow_spine);
+    // Weights shift toward the faster QP.
+    EXPECT_GT(weights[0], weights[1]);
+}
+
+TEST(C4pMaster, RebalanceQuietWithoutDynamicMode)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pMaster master(sim, topo); // dynamicLoadBalance = false
+
+    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0)};
+    std::vector<PathDecision> decisions = {master.decide(ctxs[0])};
+    std::vector<double> weights = {1.0};
+    EXPECT_FALSE(master.rebalance(ctxs, decisions, weights));
+}
+
+TEST(C4pMaster, CooldownThrottlesRepins)
+{
+    Simulator sim;
+    net::Topology topo(testbed());
+    C4pConfig cfg;
+    cfg.dynamicLoadBalance = true;
+    cfg.rebalanceCooldown = seconds(10);
+    C4pMaster master(sim, topo, cfg);
+
+    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0)};
+    std::vector<PathDecision> decisions = {master.decide(ctxs[0])};
+    std::vector<double> weights = {1.0};
+
+    accl::PathFeedback fb;
+    fb.achievedRate = gbps(100);
+    master.feedback(ctxs[0], decisions[0], fb);
+
+    const int tx_leaf = topo.leafIndex(0, decisions[0].txPlane);
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, decisions[0].spine),
+                   false);
+    EXPECT_TRUE(master.rebalance(ctxs, decisions, weights));
+    const auto after_first = master.repins();
+
+    // Immediately kill the new trunk too: cooldown forbids a repin.
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, decisions[0].spine),
+                   false);
+    master.rebalance(ctxs, decisions, weights);
+    EXPECT_EQ(master.repins(), after_first);
+}
+
+} // namespace
+} // namespace c4::c4p

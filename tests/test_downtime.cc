@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Table III downtime model: component arithmetic, policy
+ * presets, and the June-vs-December contrast (~30x downtime reduction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "c4d/downtime.h"
+
+namespace c4::c4d {
+namespace {
+
+using fault::FaultRates;
+using fault::FaultType;
+
+TEST(CauseGroups, MappingMatchesTableIII)
+{
+    EXPECT_EQ(causeGroupOf(FaultType::EccError), CauseGroup::EccNvlink);
+    EXPECT_EQ(causeGroupOf(FaultType::NvlinkError),
+              CauseGroup::EccNvlink);
+    EXPECT_EQ(causeGroupOf(FaultType::CudaError), CauseGroup::Cuda);
+    EXPECT_EQ(causeGroupOf(FaultType::NcclTimeout),
+              CauseGroup::CclTimeout);
+    EXPECT_EQ(causeGroupOf(FaultType::AckTimeout),
+              CauseGroup::AckTimeout);
+    EXPECT_EQ(causeGroupOf(FaultType::NetworkOther),
+              CauseGroup::Unknown);
+    EXPECT_STREQ(causeGroupName(CauseGroup::EccNvlink),
+                 "ECC/NVLink Error");
+}
+
+TEST(DowntimeBreakdown, TotalsAreSums)
+{
+    DowntimeBreakdown b;
+    b.postCheckpoint = 0.07;
+    b.detection = 0.03;
+    b.diagnosisByCause[0] = 0.08;
+    b.diagnosisByCause[1] = 0.04;
+    b.reinit = 0.01;
+    EXPECT_DOUBLE_EQ(b.diagnosisTotal(), 0.12);
+    EXPECT_DOUBLE_EQ(b.total(), 0.23);
+}
+
+TEST(DowntimeModel, JuneReproducesPaperScale)
+{
+    DowntimeModel model(RecoveryPolicy::june2023(),
+                        FaultRates::paperJune2023(), /*gpus=*/2400,
+                        days(30), /*seed=*/1);
+    const DowntimeBreakdown b = model.run(128);
+
+    // Paper Table III, June 2023: total 31.19%, diagnosis 19.65%,
+    // post-checkpoint 7.53%, detection 3.41%, re-init 0.6%.
+    EXPECT_NEAR(b.total(), 0.3119, 0.10);
+    EXPECT_NEAR(b.diagnosisTotal(), 0.1965, 0.08);
+    EXPECT_NEAR(b.postCheckpoint, 0.0753, 0.03);
+    EXPECT_NEAR(b.detection, 0.0341, 0.02);
+    EXPECT_NEAR(b.reinit, 0.006, 0.004);
+
+    // ~23 crashes/month at 2400 GPUs (40 at 4096).
+    EXPECT_NEAR(b.totalEvents(), 23.4, 3.0);
+}
+
+TEST(DowntimeModel, DecemberReproducesPaperScale)
+{
+    DowntimeModel model(RecoveryPolicy::december2023(),
+                        FaultRates::paperDecember2023(), /*gpus=*/2400,
+                        days(30), /*seed=*/2);
+    const DowntimeBreakdown b = model.run(128);
+
+    // Paper Table III, December 2023: total 1.16%.
+    EXPECT_NEAR(b.total(), 0.0116, 0.012);
+    EXPECT_LT(b.detection, 0.005);
+    EXPECT_LT(b.postCheckpoint, 0.01);
+}
+
+TEST(DowntimeModel, DeploymentGivesOrderOfMagnitudeReduction)
+{
+    DowntimeModel june(RecoveryPolicy::june2023(),
+                       FaultRates::paperJune2023(), 2400, days(30), 3);
+    DowntimeModel dec(RecoveryPolicy::december2023(),
+                      FaultRates::paperDecember2023(), 2400, days(30),
+                      4);
+    const double ratio =
+        june.run(64).total() / std::max(1e-9, dec.run(64).total());
+    // Paper: 31.19 / 1.16 ~= 27x. Accept a wide band around it.
+    EXPECT_GT(ratio, 12.0);
+    EXPECT_LT(ratio, 60.0);
+}
+
+TEST(DowntimeModel, C4dAloneCutsDiagnosis)
+{
+    // Ablation: C4D with June-era checkpoints and hardware isolates the
+    // detection+diagnosis effect.
+    RecoveryPolicy c4d_only = RecoveryPolicy::june2023();
+    c4d_only.c4dEnabled = true;
+    c4d_only.c4dCoverage = 0.92;
+
+    DowntimeModel base(RecoveryPolicy::june2023(),
+                       FaultRates::paperJune2023(), 2400, days(30), 5);
+    DowntimeModel with(c4d_only, FaultRates::paperJune2023(), 2400,
+                       days(30), 6);
+    const auto b0 = base.run(64);
+    const auto b1 = with.run(64);
+    EXPECT_LT(b1.diagnosisTotal(), b0.diagnosisTotal() * 0.5);
+    EXPECT_LT(b1.detection, b0.detection * 0.5);
+    // Post-checkpoint loss unchanged: same sparse checkpoints.
+    EXPECT_NEAR(b1.postCheckpoint, b0.postCheckpoint, 0.03);
+}
+
+TEST(DowntimeModel, CheckpointIntervalTradeoff)
+{
+    // Sweeping the interval shows the post-checkpoint U-shape: too
+    // sparse loses work, too frequent pays save overhead.
+    RecoveryPolicy sparse = RecoveryPolicy::december2023();
+    sparse.checkpointInterval = hours(8);
+    RecoveryPolicy frequent = RecoveryPolicy::december2023();
+    frequent.checkpointInterval = minutes(10);
+    RecoveryPolicy manic = RecoveryPolicy::december2023();
+    manic.checkpointInterval = seconds(20);
+
+    const FaultRates rates = FaultRates::paperDecember2023();
+    const double s =
+        DowntimeModel(sparse, rates, 2400, days(30), 7).run(64)
+            .postCheckpoint;
+    const double f =
+        DowntimeModel(frequent, rates, 2400, days(30), 8).run(64)
+            .postCheckpoint;
+    const double m =
+        DowntimeModel(manic, rates, 2400, days(30), 9).run(64)
+            .postCheckpoint;
+    EXPECT_LT(f, s);
+    EXPECT_LT(f, m);
+}
+
+TEST(DowntimeModel, ScalesWithGpuCount)
+{
+    const auto small =
+        DowntimeModel(RecoveryPolicy::june2023(),
+                      FaultRates::paperJune2023(), 512, days(30), 10)
+            .run(64);
+    const auto large =
+        DowntimeModel(RecoveryPolicy::june2023(),
+                      FaultRates::paperJune2023(), 4096, days(30), 11)
+            .run(64);
+    EXPECT_GT(large.totalEvents(), small.totalEvents() * 4.0);
+    EXPECT_GT(large.total(), small.total() * 2.0);
+}
+
+class CoverageSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CoverageSweep, HigherCoverageNeverHurts)
+{
+    RecoveryPolicy p = RecoveryPolicy::december2023();
+    p.c4dCoverage = GetParam();
+    DowntimeModel model(p, FaultRates::paperDecember2023(), 2400,
+                        days(30), 42);
+    const auto b = model.run(64);
+    // Sanity: totals stay bounded and decrease-ish in coverage. The
+    // strict monotonicity is asserted across the sweep by the bench;
+    // here each point must just be a valid fraction.
+    EXPECT_GE(b.total(), 0.0);
+    EXPECT_LT(b.total(), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coverage, CoverageSweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 1.0));
+
+} // namespace
+} // namespace c4::c4d

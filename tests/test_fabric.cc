@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the fluid fabric: max-min fair sharing, completions,
+ * stalls, link failures with ECMP reroute, and the congestion overlay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+
+namespace c4::net {
+namespace {
+
+TopologyConfig
+testbed()
+{
+    TopologyConfig tc;
+    tc.numNodes = 16;
+    tc.nodesPerSegment = 4;
+    tc.numSpines = 8;
+    return tc;
+}
+
+FabricConfig
+quiet()
+{
+    FabricConfig fc;
+    fc.congestionJitter = false; // deterministic rates for unit tests
+    return fc;
+}
+
+struct Harness
+{
+    Simulator sim;
+    Topology topo;
+    Fabric fabric;
+
+    explicit Harness(TopologyConfig tc = testbed(),
+                     FabricConfig fc = quiet())
+        : topo(tc), fabric(sim, topo, fc)
+    {
+    }
+
+    PathRequest
+    request(NodeId src, NodeId dst, std::uint32_t label = 1,
+            int spine = kInvalidId, int rx_plane = kInvalidId)
+    {
+        PathRequest req;
+        req.srcNode = src;
+        req.srcNic = 0;
+        req.dstNode = dst;
+        req.dstNic = 0;
+        req.txPlane = Plane::Left;
+        req.spine = spine;
+        req.rxPlane = rx_plane;
+        req.flowLabel = label;
+        return req;
+    }
+};
+
+TEST(Fabric, SingleFlowRunsAtPortRate)
+{
+    Harness h;
+    Time end_time = 0;
+    h.fabric.startFlow(h.request(0, 4), mib(250),
+                       [&](const FlowEnd &end) {
+                           end_time = end.endTime;
+                           // 250 MiB at 200 Gbps ~= 10.49 ms
+                           EXPECT_NEAR(toGbps(end.achievedRate()), 200.0,
+                                       1.0);
+                       });
+    h.sim.run();
+    EXPECT_GT(end_time, 0);
+    EXPECT_EQ(h.fabric.totalFlowsCompleted(), 1u);
+}
+
+TEST(Fabric, TwoFlowsOnSamePortSplitFairly)
+{
+    Harness h;
+    int done = 0;
+    // Same source NIC/plane -> share the 200 Gbps host uplink.
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        h.fabric.startFlow(h.request(0, 4 + static_cast<NodeId>(i), i),
+                           mib(100), [&](const FlowEnd &end) {
+                               ++done;
+                               EXPECT_NEAR(toGbps(end.achievedRate()),
+                                           100.0, 2.0);
+                           });
+    }
+    h.sim.run();
+    EXPECT_EQ(done, 2);
+}
+
+TEST(Fabric, FlowRateQueryMatchesAllocation)
+{
+    Harness h;
+    const FlowId f = h.fabric.startFlow(h.request(0, 4), gib(1), nullptr);
+    EXPECT_NEAR(toGbps(h.fabric.flowRate(f)), 200.0, 0.1);
+    EXPECT_EQ(h.fabric.activeFlowCount(), 1u);
+}
+
+TEST(Fabric, UnequalShareWhenOneFlowIsElsewhereBottlenecked)
+{
+    Harness h;
+    // Flow A: node0 -> node4 via spine 0. Flow B: node1 -> node4 via
+    // spine 0 as well, but B's host uplink is degraded to 50 Gbps.
+    h.fabric.setLinkCapacityScale(
+        h.topo.hostUplink(1, 0, Plane::Left), 0.25);
+    const FlowId a = h.fabric.startFlow(
+        h.request(0, 4, 1, /*spine=*/0, planeIndex(Plane::Left)),
+        gib(1), nullptr);
+    const FlowId b = h.fabric.startFlow(
+        h.request(1, 4, 2, /*spine=*/0, planeIndex(Plane::Left)),
+        gib(1), nullptr);
+    // Max-min: B gets 50, A picks up the remaining 150 of the trunk...
+    // but both land on node4's single 200 Gbps downlink, so A gets 150.
+    EXPECT_NEAR(toGbps(h.fabric.flowRate(b)), 50.0, 1.0);
+    EXPECT_NEAR(toGbps(h.fabric.flowRate(a)), 150.0, 1.0);
+}
+
+TEST(Fabric, CompletionTimesAreBandwidthAccurate)
+{
+    Harness h;
+    Time done_at = 0;
+    h.fabric.startFlow(h.request(0, 4), mib(100),
+                       [&](const FlowEnd &end) { done_at = end.endTime; });
+    h.sim.run();
+    // 100 MiB * 8 / 200 Gbps = 4.194 ms
+    EXPECT_NEAR(toMilliseconds(done_at), 4.194, 0.05);
+}
+
+TEST(Fabric, AbortSuppressesCallback)
+{
+    Harness h;
+    bool fired = false;
+    const FlowId f = h.fabric.startFlow(h.request(0, 4), mib(10),
+                                        [&](const FlowEnd &) {
+                                            fired = true;
+                                        });
+    EXPECT_TRUE(h.fabric.abortFlow(f));
+    EXPECT_FALSE(h.fabric.abortFlow(f));
+    h.sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(h.fabric.totalFlowsCompleted(), 0u);
+}
+
+TEST(Fabric, StallAndResume)
+{
+    Harness h;
+    bool fired = false;
+    const FlowId f = h.fabric.startFlow(h.request(0, 4), mib(10),
+                                        [&](const FlowEnd &) {
+                                            fired = true;
+                                        });
+    h.fabric.stallFlow(f);
+    h.sim.run(seconds(10));
+    EXPECT_FALSE(fired);
+    EXPECT_DOUBLE_EQ(h.fabric.flowRate(f), 0.0);
+
+    h.fabric.resumeFlow(f);
+    h.sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Fabric, ProgressPreservedAcrossReallocation)
+{
+    Harness h;
+    Time done_at = 0;
+    // One flow alone for 2 ms, then a competitor arrives.
+    h.fabric.startFlow(h.request(0, 4, 1), mib(100),
+                       [&](const FlowEnd &end) { done_at = end.endTime; });
+    h.sim.scheduleAt(milliseconds(2), [&] {
+        h.fabric.startFlow(h.request(0, 5, 2), mib(100), nullptr);
+    });
+    h.sim.run();
+    // First 2 ms at 200 Gbps moves ~47.7 MiB; remaining ~52.3 MiB at
+    // 100 Gbps takes ~4.39 ms -> total ~6.39 ms.
+    EXPECT_NEAR(toMilliseconds(done_at), 6.39, 0.1);
+}
+
+TEST(Fabric, LinkDownStallsWhenNoAlternative)
+{
+    Harness h;
+    bool fired = false;
+    const FlowId f = h.fabric.startFlow(h.request(0, 4), mib(10),
+                                        [&](const FlowEnd &) {
+                                            fired = true;
+                                        });
+    h.fabric.setLinkUp(h.topo.hostUplink(0, 0, Plane::Left), false);
+    h.sim.run(seconds(1));
+    EXPECT_FALSE(fired);
+    EXPECT_DOUBLE_EQ(h.fabric.flowRate(f), 0.0);
+
+    // Restoration re-resolves the route and the flow completes.
+    h.fabric.setLinkUp(h.topo.hostUplink(0, 0, Plane::Left), true);
+    h.sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Fabric, TrunkFailureReroutesViaSurvivingSpines)
+{
+    Harness h;
+    bool fired = false;
+    const FlowId f =
+        h.fabric.startFlow(h.request(0, 4), gib(1),
+                           [&](const FlowEnd &) { fired = true; });
+    const Route *route = h.fabric.flowRoute(f);
+    ASSERT_NE(route, nullptr);
+    const int original_spine = route->spine;
+    ASSERT_GE(original_spine, 0);
+
+    const int tx_leaf = h.topo.leafIndex(0, Plane::Left);
+    h.fabric.setLinkUp(h.topo.trunkUplink(tx_leaf, original_spine),
+                       false);
+    route = h.fabric.flowRoute(f);
+    ASSERT_NE(route, nullptr);
+    ASSERT_TRUE(route->valid());
+    EXPECT_NE(route->spine, original_spine);
+
+    h.sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Fabric, LinkThroughputTracksAllocations)
+{
+    Harness h;
+    const LinkId up = h.topo.hostUplink(0, 0, Plane::Left);
+    EXPECT_DOUBLE_EQ(h.fabric.linkThroughput(up), 0.0);
+    h.fabric.startFlow(h.request(0, 4), gib(10), nullptr);
+    EXPECT_NEAR(toGbps(h.fabric.linkThroughput(up)), 200.0, 0.1);
+    EXPECT_TRUE(h.fabric.linkCongested(up));
+}
+
+TEST(Fabric, DemandRatioReflectsOverload)
+{
+    Harness h;
+    // Two full-rate flows forced onto one spine trunk.
+    h.fabric.startFlow(h.request(0, 4, 1, 0, planeIndex(Plane::Left)),
+                       gib(1), nullptr);
+    h.fabric.startFlow(h.request(1, 5, 2, 0, planeIndex(Plane::Left)),
+                       gib(1), nullptr);
+    const int tx_leaf = h.topo.leafIndex(0, Plane::Left);
+    const LinkId trunk = h.topo.trunkUplink(tx_leaf, 0);
+    EXPECT_NEAR(h.fabric.linkDemandRatio(trunk), 2.0, 0.01);
+    EXPECT_TRUE(h.fabric.linkCongested(trunk));
+}
+
+TEST(Fabric, CnpRateAppearsUnderCongestion)
+{
+    FabricConfig fc;
+    fc.congestionJitter = true;
+    fc.cnpRatePerOverload = 15000.0;
+    Harness h(testbed(), fc);
+    // Two flows from the same NIC pinned through one trunk: demand 2x.
+    h.fabric.startFlow(h.request(0, 4, 1, 0, planeIndex(Plane::Left)),
+                       gib(10), nullptr);
+    h.fabric.startFlow(h.request(0, 5, 2, 0, planeIndex(Plane::Left)),
+                       gib(10), nullptr);
+    const double cnp = h.fabric.nicCnpRate(0, 0);
+    EXPECT_GT(cnp, 5000.0);
+    EXPECT_LT(cnp, 50000.0);
+}
+
+TEST(Fabric, NoCnpWithoutCongestion)
+{
+    Harness h;
+    h.fabric.startFlow(h.request(0, 4), gib(1), nullptr);
+    // A single flow on its own path saturates links but demand == 1.
+    EXPECT_DOUBLE_EQ(h.fabric.nicCnpRate(0, 0), 0.0);
+}
+
+TEST(Fabric, JitterReducesRatesSlightly)
+{
+    FabricConfig fc;
+    fc.congestionJitter = true;
+    fc.jitterMax = 0.06;
+    Harness h(testbed(), fc);
+    const FlowId a = h.fabric.startFlow(
+        h.request(0, 4, 1, 0, planeIndex(Plane::Left)), gib(1), nullptr);
+    h.fabric.startFlow(h.request(1, 5, 2, 0, planeIndex(Plane::Left)),
+                       gib(1), nullptr);
+    const double rate = toGbps(h.fabric.flowRate(a));
+    EXPECT_LE(rate, 100.0 + 1e-9);
+    EXPECT_GE(rate, 100.0 * (1.0 - fc.jitterMax) - 1e-9);
+}
+
+TEST(Fabric, ManyFlowsAllComplete)
+{
+    Harness h;
+    int done = 0;
+    std::uint32_t label = 0;
+    for (NodeId src = 0; src < 8; ++src) {
+        for (int i = 0; i < 4; ++i) {
+            PathRequest req = h.request(src, 8 + (src + i) % 8, ++label);
+            req.srcNic = i % h.topo.nicsPerNode();
+            h.fabric.startFlow(req, mib(64),
+                               [&](const FlowEnd &) { ++done; });
+        }
+    }
+    h.sim.run();
+    EXPECT_EQ(done, 32);
+    EXPECT_EQ(h.fabric.activeFlowCount(), 0u);
+}
+
+TEST(Fabric, ZeroAndTinyFlows)
+{
+    Harness h;
+    int done = 0;
+    h.fabric.startFlow(h.request(0, 4), 1, [&](const FlowEnd &end) {
+        ++done;
+        EXPECT_EQ(end.bytes, 1);
+    });
+    h.fabric.startFlow(h.request(0, 5, 2), 100,
+                       [&](const FlowEnd &) { ++done; });
+    h.sim.run();
+    EXPECT_EQ(done, 2);
+}
+
+} // namespace
+} // namespace c4::net

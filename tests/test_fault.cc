@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the fault taxonomy and injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fault/injector.h"
+
+namespace c4::fault {
+namespace {
+
+TEST(FaultTypes, FatalityClassification)
+{
+    EXPECT_TRUE(faultIsFatal(FaultType::CudaError));
+    EXPECT_TRUE(faultIsFatal(FaultType::EccError));
+    EXPECT_TRUE(faultIsFatal(FaultType::NvlinkError));
+    EXPECT_TRUE(faultIsFatal(FaultType::NcclTimeout));
+    EXPECT_TRUE(faultIsFatal(FaultType::AckTimeout));
+    EXPECT_FALSE(faultIsFatal(FaultType::SlowNode));
+    EXPECT_FALSE(faultIsFatal(FaultType::SlowNicTx));
+    EXPECT_FALSE(faultIsFatal(FaultType::LinkDown));
+    EXPECT_FALSE(faultIsFatal(FaultType::NetworkOther));
+}
+
+TEST(FaultTypes, UserVisibleErrorMatchesTableI)
+{
+    // The paper's Table I: nearly everything looks like "NCCL Error".
+    EXPECT_STREQ(userVisibleError(FaultType::CudaError), "NCCL Error");
+    EXPECT_STREQ(userVisibleError(FaultType::EccError), "NCCL Error");
+    EXPECT_STREQ(userVisibleError(FaultType::AckTimeout), "NCCL Error");
+    EXPECT_STREQ(userVisibleError(FaultType::NetworkOther),
+                 "Network Error");
+}
+
+TEST(FaultTypes, LocalityPriorsMatchTableI)
+{
+    EXPECT_DOUBLE_EQ(faultLocalityPrior(FaultType::CudaError), 1.0);
+    EXPECT_DOUBLE_EQ(faultLocalityPrior(FaultType::NcclTimeout), 0.75);
+    EXPECT_NEAR(faultLocalityPrior(FaultType::AckTimeout), 0.818, 1e-9);
+    EXPECT_DOUBLE_EQ(faultLocalityPrior(FaultType::NetworkOther), 0.40);
+}
+
+TEST(FaultRates, PaperJuneTotalsFortyPerMonthAt4096Gpus)
+{
+    const FaultRates r = FaultRates::paperJune2023();
+    double fatal = 0.0;
+    for (FaultType t :
+         {FaultType::CudaError, FaultType::EccError,
+          FaultType::NvlinkError, FaultType::NcclTimeout,
+          FaultType::AckTimeout, FaultType::NetworkOther}) {
+        fatal += r[t];
+    }
+    // 4096 GPUs = 4.096 "per-1000" units.
+    EXPECT_NEAR(fatal * 4.096, 40.0, 0.5);
+}
+
+TEST(FaultRates, DecemberIsHardened)
+{
+    const FaultRates june = FaultRates::paperJune2023();
+    const FaultRates dec = FaultRates::paperDecember2023();
+    EXPECT_NEAR(june[FaultType::EccError] / dec[FaultType::EccError],
+                3.33, 0.01);
+    EXPECT_LT(dec.total(), june.total());
+}
+
+TEST(FaultRates, ScaledMultipliesEveryCategory)
+{
+    const FaultRates r = FaultRates::paperJune2023().scaled(2.0);
+    EXPECT_DOUBLE_EQ(r.total(),
+                     FaultRates::paperJune2023().total() * 2.0);
+}
+
+TEST(Injector, InjectAtFiresAtTime)
+{
+    Simulator sim;
+    FaultInjector inj(sim);
+    std::vector<Time> fired;
+    inj.setApplier(
+        [&](const FaultEvent &ev) { fired.push_back(ev.when); });
+
+    FaultEvent ev;
+    ev.type = FaultType::CudaError;
+    ev.node = 3;
+    inj.injectAt(seconds(5), ev);
+    inj.injectAt(seconds(2), ev);
+    sim.run();
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], seconds(2));
+    EXPECT_EQ(fired[1], seconds(5));
+    EXPECT_EQ(inj.history().size(), 2u);
+}
+
+TEST(Injector, ObserversSeeEveryEvent)
+{
+    Simulator sim;
+    FaultInjector inj(sim);
+    int applied = 0, observed_a = 0, observed_b = 0;
+    inj.setApplier([&](const FaultEvent &) { ++applied; });
+    inj.addObserver([&](const FaultEvent &) { ++observed_a; });
+    inj.addObserver([&](const FaultEvent &) { ++observed_b; });
+    inj.injectNow(FaultEvent{});
+    EXPECT_EQ(applied, 1);
+    EXPECT_EQ(observed_a, 1);
+    EXPECT_EQ(observed_b, 1);
+}
+
+TEST(Injector, CampaignCountsScaleWithPopulationAndDuration)
+{
+    Simulator sim;
+    FaultInjector inj(sim, 99);
+    std::vector<NodeId> nodes;
+    for (NodeId n = 0; n < 512; ++n)
+        nodes.push_back(n);
+
+    FaultRates rates;
+    rates[FaultType::CudaError] = 10.0; // 10 per 1000 GPUs per month
+    const auto scheduled = inj.startCampaign(rates, nodes, 8, 8, 0,
+                                             days(30));
+    // Expectation: 10 * 4.096 ~= 41 events; Poisson spread.
+    EXPECT_GT(scheduled, 20u);
+    EXPECT_LT(scheduled, 70u);
+
+    sim.run();
+    EXPECT_EQ(inj.history().size(), scheduled);
+    for (const auto &ev : inj.history()) {
+        EXPECT_EQ(ev.type, FaultType::CudaError);
+        EXPECT_GE(ev.node, 0);
+        EXPECT_LT(ev.node, 512);
+        EXPECT_GE(ev.when, 0);
+        EXPECT_LE(ev.when, days(30));
+    }
+}
+
+TEST(Injector, CampaignSeveritiesInRange)
+{
+    Simulator sim;
+    FaultInjector inj(sim, 7);
+    std::vector<NodeId> nodes{0, 1, 2, 3};
+    FaultRates rates;
+    rates[FaultType::SlowNode] = 2000.0;
+    rates[FaultType::SlowNicRx] = 2000.0;
+    inj.startCampaign(rates, nodes, 8, 8, 0, days(30));
+    sim.run();
+    ASSERT_GT(inj.history().size(), 10u);
+    for (const auto &ev : inj.history()) {
+        if (ev.type == FaultType::SlowNode) {
+            EXPECT_GE(ev.severity, 0.60);
+            EXPECT_LE(ev.severity, 0.95);
+        } else {
+            EXPECT_GE(ev.severity, 0.25);
+            EXPECT_LE(ev.severity, 0.70);
+        }
+    }
+}
+
+TEST(Injector, LinkDownSamplesTrunkIndex)
+{
+    Simulator sim;
+    FaultInjector inj(sim, 21);
+    std::vector<NodeId> nodes{0, 1};
+    FaultRates rates;
+    rates[FaultType::LinkDown] = 5000.0;
+    inj.startCampaign(rates, nodes, 8, 8, /*numTrunks=*/64, days(30));
+    sim.run();
+    ASSERT_FALSE(inj.history().empty());
+    for (const auto &ev : inj.history()) {
+        EXPECT_GE(ev.link, 0);
+        EXPECT_LT(ev.link, 64);
+        EXPECT_FALSE(ev.isLocal); // link faults are never node-local
+    }
+}
+
+TEST(Injector, LocalitySampledFromPrior)
+{
+    Simulator sim;
+    FaultInjector inj(sim, 31);
+    std::vector<NodeId> nodes{0};
+    FaultRates rates;
+    rates[FaultType::NcclTimeout] = 50000.0; // lots of samples
+    inj.startCampaign(rates, nodes, 8, 8, 0, days(30));
+    sim.run();
+    int local = 0;
+    for (const auto &ev : inj.history())
+        local += ev.isLocal ? 1 : 0;
+    const double frac =
+        static_cast<double>(local) / inj.history().size();
+    EXPECT_NEAR(frac, 0.75, 0.08);
+}
+
+TEST(FaultEvent, StringRendering)
+{
+    FaultEvent ev;
+    ev.type = FaultType::SlowNicRx;
+    ev.node = 4;
+    ev.nic = 2;
+    ev.severity = 0.5;
+    const std::string s = ev.str();
+    EXPECT_NE(s.find("slow-nic-rx"), std::string::npos);
+    EXPECT_NE(s.find("node=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace c4::fault

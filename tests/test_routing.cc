@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for ECMP hashing and path selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/routing.h"
+
+namespace c4::net {
+namespace {
+
+TopologyConfig
+testbed()
+{
+    TopologyConfig tc;
+    tc.numNodes = 16;
+    tc.nodesPerSegment = 4;
+    tc.numSpines = 8;
+    return tc;
+}
+
+PathRequest
+crossSegment(std::uint32_t label = 1)
+{
+    PathRequest req;
+    req.srcNode = 0;
+    req.srcNic = 0;
+    req.dstNode = 4; // segment 1
+    req.dstNic = 0;
+    req.txPlane = Plane::Left;
+    req.flowLabel = label;
+    return req;
+}
+
+TEST(EcmpHash, DeterministicAndLabelSensitive)
+{
+    const PathRequest a = crossSegment(7);
+    EXPECT_EQ(ecmpHash(a), ecmpHash(a));
+    const PathRequest b = crossSegment(8);
+    EXPECT_NE(ecmpHash(a), ecmpHash(b));
+    EXPECT_NE(ecmpHash(a, 1), ecmpHash(a, 2));
+}
+
+TEST(EcmpHash, SpreadsAcrossLabels)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    std::map<int, int> spine_counts;
+    for (std::uint32_t label = 0; label < 512; ++label) {
+        const Route r = sel.select(crossSegment(label));
+        ASSERT_TRUE(r.valid());
+        ++spine_counts[r.spine];
+    }
+    // All 8 spines should receive a reasonable share.
+    EXPECT_EQ(spine_counts.size(), 8u);
+    for (const auto &[spine, count] : spine_counts)
+        EXPECT_GT(count, 20);
+}
+
+TEST(PathSelector, SameSegmentSamePlaneTurnsAtLeaf)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    PathRequest req = crossSegment();
+    req.dstNode = 1; // same segment as node 0
+    req.rxPlane = planeIndex(Plane::Left);
+    const Route r = sel.select(req);
+    ASSERT_TRUE(r.valid());
+    EXPECT_EQ(r.links.size(), 2u);
+    EXPECT_EQ(r.spine, kInvalidId);
+    EXPECT_EQ(r.rxPlane, Plane::Left);
+}
+
+TEST(PathSelector, CrossSegmentTransitsSpine)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    const Route r = sel.select(crossSegment());
+    ASSERT_TRUE(r.valid());
+    ASSERT_EQ(r.links.size(), 4u);
+    EXPECT_EQ(topo.link(r.links[0]).kind, LinkKind::HostUp);
+    EXPECT_EQ(topo.link(r.links[1]).kind, LinkKind::TrunkUp);
+    EXPECT_EQ(topo.link(r.links[2]).kind, LinkKind::TrunkDown);
+    EXPECT_EQ(topo.link(r.links[3]).kind, LinkKind::HostDown);
+    EXPECT_GE(r.spine, 0);
+}
+
+TEST(PathSelector, PinnedSpineHonored)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    for (int spine = 0; spine < 8; ++spine) {
+        PathRequest req = crossSegment();
+        req.spine = spine;
+        const Route r = sel.select(req);
+        ASSERT_TRUE(r.valid());
+        EXPECT_EQ(r.spine, spine);
+    }
+}
+
+TEST(PathSelector, PinnedRxPlaneHonored)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    PathRequest req = crossSegment();
+    req.rxPlane = planeIndex(Plane::Right);
+    const Route r = sel.select(req);
+    ASSERT_TRUE(r.valid());
+    EXPECT_EQ(r.rxPlane, Plane::Right);
+    EXPECT_EQ(topo.link(r.links.back()).plane, Plane::Right);
+}
+
+TEST(PathSelector, DeadPinnedSpineFallsBackToHash)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    PathRequest req = crossSegment();
+    req.spine = 3;
+    const int tx_leaf = topo.leafIndex(0, Plane::Left);
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, 3), false);
+    const Route r = sel.select(req);
+    ASSERT_TRUE(r.valid());
+    EXPECT_NE(r.spine, 3);
+}
+
+TEST(PathSelector, AvoidsDeadSpines)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    const int tx_leaf = topo.leafIndex(0, Plane::Left);
+    // Kill all but spine 6 (for left-plane destinations).
+    for (int s = 0; s < 8; ++s) {
+        if (s != 6)
+            topo.setLinkUp(topo.trunkUplink(tx_leaf, s), false);
+    }
+    for (std::uint32_t label = 0; label < 32; ++label) {
+        PathRequest req = crossSegment(label);
+        req.rxPlane = planeIndex(Plane::Left); // stay on the tx leaf
+        const Route r = sel.select(req);
+        ASSERT_TRUE(r.valid());
+        EXPECT_EQ(r.spine, 6);
+    }
+}
+
+TEST(PathSelector, UnroutableWhenAllSpinesDead)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    const int tx_leaf = topo.leafIndex(0, Plane::Left);
+    for (int s = 0; s < 8; ++s)
+        topo.setLinkUp(topo.trunkUplink(tx_leaf, s), false);
+    PathRequest req = crossSegment();
+    req.rxPlane = planeIndex(Plane::Left);
+    EXPECT_FALSE(sel.select(req).valid());
+}
+
+TEST(PathSelector, DeadHostUplinkIsUnroutable)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    topo.setLinkUp(topo.hostUplink(0, 0, Plane::Left), false);
+    EXPECT_FALSE(sel.select(crossSegment()).valid());
+}
+
+TEST(PathSelector, CrossPlaneSameSegmentTransitsSpine)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    PathRequest req = crossSegment();
+    req.dstNode = 1; // same segment
+    req.txPlane = Plane::Left;
+    req.rxPlane = planeIndex(Plane::Right);
+    const Route r = sel.select(req);
+    ASSERT_TRUE(r.valid());
+    EXPECT_EQ(r.links.size(), 4u); // must go via a spine to cross planes
+}
+
+TEST(PathSelector, RxPlaneHashIsRoughlyBalanced)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    int left = 0;
+    for (std::uint32_t label = 0; label < 400; ++label) {
+        const Route r = sel.select(crossSegment(label));
+        ASSERT_TRUE(r.valid());
+        left += r.rxPlane == Plane::Left ? 1 : 0;
+    }
+    EXPECT_GT(left, 120);
+    EXPECT_LT(left, 280);
+}
+
+TEST(PathSelector, CandidateSpinesMatchesTopology)
+{
+    Topology topo(testbed());
+    PathSelector sel(topo);
+    const int tx = topo.leafIndex(0, Plane::Left);
+    const int rx = topo.leafIndex(2, Plane::Left);
+    EXPECT_EQ(sel.candidateSpines(tx, rx).size(), 8u);
+    topo.setLinkUp(topo.trunkDownlink(1, rx), false);
+    EXPECT_EQ(sel.candidateSpines(tx, rx).size(), 7u);
+}
+
+} // namespace
+} // namespace c4::net

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace c4 {
+namespace {
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    EXPECT_EQ(sim.pendingCount(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.scheduleAt(seconds(3), [&] { order.push_back(3); });
+    sim.scheduleAt(seconds(1), [&] { order.push_back(1); });
+    sim.scheduleAt(seconds(2), [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(Simulator, FifoAmongEqualTimes)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.scheduleAt(seconds(1), [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterAddsToNow)
+{
+    Simulator sim;
+    Time fired = -1;
+    sim.scheduleAfter(seconds(1), [&] {
+        sim.scheduleAfter(seconds(2), [&] { fired = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(fired, seconds(3));
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.scheduleAt(seconds(1), [&] { fired = true; });
+    EXPECT_TRUE(sim.pending(id));
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.pending(id));
+    EXPECT_FALSE(sim.cancel(id)); // double-cancel is a no-op
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.scheduleAt(seconds(1), [&] { ++fired; });
+    sim.scheduleAt(seconds(10), [&] { ++fired; });
+    const auto n = sim.run(seconds(5));
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), seconds(5));
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), seconds(10));
+}
+
+TEST(Simulator, EventExactlyAtUntilRuns)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.scheduleAt(seconds(5), [&] { fired = true; });
+    sim.run(seconds(5));
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepExecutesExactlyOne)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.scheduleAt(1, [&] { ++fired; });
+    sim.scheduleAt(2, [&] { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, PastEventsClampToNow)
+{
+    Simulator sim;
+    sim.scheduleAt(seconds(2), [] {});
+    sim.run();
+    Time fired = -1;
+    sim.scheduleAt(seconds(1), [&] { fired = sim.now(); }); // in the past
+    sim.run();
+    EXPECT_EQ(fired, seconds(2));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10)
+            sim.scheduleAfter(seconds(1), recurse);
+    };
+    sim.scheduleAfter(seconds(1), recurse);
+    sim.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(sim.now(), seconds(10));
+}
+
+TEST(Simulator, ClearDropsPending)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.scheduleAt(1, [&] { fired = true; });
+    sim.clear();
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ExecutedCount)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.scheduleAt(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.executedCount(), 7u);
+}
+
+TEST(Simulator, HugeDelaySaturates)
+{
+    Simulator sim;
+    sim.scheduleAt(seconds(1), [] {});
+    const EventId id = sim.scheduleAfter(kTimeNever, [] {});
+    EXPECT_TRUE(sim.pending(id));
+    sim.run(seconds(2)); // must not overflow or fire the forever event
+    EXPECT_TRUE(sim.pending(id));
+}
+
+TEST(PeriodicTask, FiresAtPeriod)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicTask task(sim, seconds(10), [&] { ++count; });
+    task.start();
+    sim.run(seconds(35));
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(task.invocations(), 3u);
+}
+
+TEST(PeriodicTask, StopHalts)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicTask task(sim, seconds(10), [&] { ++count; });
+    task.start();
+    sim.scheduleAt(seconds(25), [&] { task.stop(); });
+    sim.run(seconds(100));
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, RestartResumesFromNow)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicTask task(sim, seconds(10), [&] { ++count; });
+    task.start();
+    sim.run(seconds(15));
+    task.stop();
+    task.start();
+    sim.run(seconds(24)); // next firing at t=25
+    EXPECT_EQ(count, 1);
+    sim.run(seconds(26));
+    EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, SelfStopInsideCallback)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicTask *ptr = nullptr;
+    PeriodicTask task(sim, seconds(1), [&] {
+        if (++count == 3)
+            ptr->stop();
+    });
+    ptr = &task;
+    task.start();
+    sim.run(seconds(100));
+    EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, DoubleStartIsNoop)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicTask task(sim, seconds(1), [&] { ++count; });
+    task.start();
+    task.start();
+    sim.run(seconds(1));
+    EXPECT_EQ(count, 1);
+}
+
+} // namespace
+} // namespace c4

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the dual-plane fat-tree topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.h"
+
+namespace c4::net {
+namespace {
+
+TopologyConfig
+testbed()
+{
+    TopologyConfig tc;
+    tc.numNodes = 16;
+    tc.nodesPerSegment = 4;
+    tc.numSpines = 8;
+    return tc;
+}
+
+TEST(TopologyConfig, ValidationCatchesBadConfigs)
+{
+    TopologyConfig tc = testbed();
+    EXPECT_TRUE(tc.validate().empty());
+
+    tc.numNodes = 0;
+    EXPECT_FALSE(tc.validate().empty());
+
+    tc = testbed();
+    tc.oversubscription = 0.5;
+    EXPECT_FALSE(tc.validate().empty());
+
+    tc = testbed();
+    tc.nicsPerNode = 3; // gpusPerNode=8 not a multiple
+    EXPECT_FALSE(tc.validate().empty());
+
+    EXPECT_THROW(Topology(TopologyConfig{.numNodes = -1}),
+                 std::invalid_argument);
+}
+
+TEST(Topology, Dimensions)
+{
+    Topology topo(testbed());
+    EXPECT_EQ(topo.numNodes(), 16);
+    EXPECT_EQ(topo.numGpus(), 128);
+    EXPECT_EQ(topo.numSegments(), 4);
+    EXPECT_EQ(topo.numLeaves(), 8);
+    EXPECT_EQ(topo.numSpines(), 8);
+    // host links: 16 nodes * 8 nics * 2 planes * 2 directions = 512
+    // trunks: 8 leaves * 8 spines * 2 directions = 128
+    EXPECT_EQ(topo.numLinks(), 512u + 128u);
+}
+
+TEST(Topology, SegmentAndLeafIndexing)
+{
+    Topology topo(testbed());
+    EXPECT_EQ(topo.segmentOf(0), 0);
+    EXPECT_EQ(topo.segmentOf(3), 0);
+    EXPECT_EQ(topo.segmentOf(4), 1);
+    EXPECT_EQ(topo.segmentOf(15), 3);
+
+    for (int seg = 0; seg < topo.numSegments(); ++seg) {
+        for (int p = 0; p < kNumPlanes; ++p) {
+            const int leaf = topo.leafIndex(seg, planeFromIndex(p));
+            EXPECT_EQ(topo.leafSegment(leaf), seg);
+            EXPECT_EQ(topo.leafPlane(leaf), planeFromIndex(p));
+        }
+    }
+}
+
+TEST(Topology, HostLinksWireToTheRightLeaf)
+{
+    Topology topo(testbed());
+    const LinkId up = topo.hostUplink(5, 3, Plane::Right);
+    const Link &l = topo.link(up);
+    EXPECT_EQ(l.kind, LinkKind::HostUp);
+    EXPECT_EQ(l.node, 5);
+    EXPECT_EQ(l.nic, 3);
+    EXPECT_EQ(l.plane, Plane::Right);
+    EXPECT_EQ(l.leaf, topo.leafIndex(topo.segmentOf(5), Plane::Right));
+    EXPECT_DOUBLE_EQ(l.capacity, gbps(200));
+
+    const LinkId down = topo.hostDownlink(5, 3, Plane::Right);
+    EXPECT_EQ(topo.link(down).kind, LinkKind::HostDown);
+    EXPECT_NE(up, down);
+}
+
+TEST(Topology, AllLinkIdsDistinct)
+{
+    Topology topo(testbed());
+    std::set<LinkId> ids;
+    for (const auto &l : topo.links())
+        ids.insert(l.id);
+    EXPECT_EQ(ids.size(), topo.numLinks());
+}
+
+TEST(Topology, TrunkCapacityFollowsOversubscription)
+{
+    Topology one_to_one(testbed());
+    EXPECT_DOUBLE_EQ(one_to_one.link(one_to_one.trunkUplink(0, 0))
+                         .capacity,
+                     gbps(200));
+
+    TopologyConfig tc = testbed();
+    tc.oversubscription = 2.0;
+    Topology two_to_one(tc);
+    EXPECT_DOUBLE_EQ(two_to_one.link(two_to_one.trunkUplink(0, 0))
+                         .capacity,
+                     gbps(100));
+}
+
+TEST(Topology, LinkUpDownAndCapacityScale)
+{
+    Topology topo(testbed());
+    const LinkId t = topo.trunkUplink(2, 5);
+    EXPECT_TRUE(topo.link(t).up);
+    EXPECT_DOUBLE_EQ(topo.link(t).effectiveCapacity(), gbps(200));
+
+    topo.setLinkUp(t, false);
+    EXPECT_DOUBLE_EQ(topo.link(t).effectiveCapacity(), 0.0);
+
+    topo.setLinkUp(t, true);
+    topo.setLinkCapacityScale(t, 0.5);
+    EXPECT_DOUBLE_EQ(topo.link(t).effectiveCapacity(), gbps(100));
+}
+
+TEST(Topology, HealthySpinesExcludesDeadTrunks)
+{
+    Topology topo(testbed());
+    const int tx_leaf = topo.leafIndex(0, Plane::Left);
+    const int rx_leaf = topo.leafIndex(1, Plane::Left);
+
+    EXPECT_EQ(topo.healthySpines(tx_leaf, rx_leaf).size(), 8u);
+
+    topo.setLinkUp(topo.trunkUplink(tx_leaf, 3), false);
+    auto healthy = topo.healthySpines(tx_leaf, rx_leaf);
+    EXPECT_EQ(healthy.size(), 7u);
+    for (int s : healthy)
+        EXPECT_NE(s, 3);
+
+    // A dead downlink on the rx side removes another spine.
+    topo.setLinkUp(topo.trunkDownlink(5, rx_leaf), false);
+    EXPECT_EQ(topo.healthySpines(tx_leaf, rx_leaf).size(), 6u);
+    // ...but not for other destinations.
+    const int other_rx = topo.leafIndex(2, Plane::Left);
+    EXPECT_EQ(topo.healthySpines(tx_leaf, other_rx).size(), 7u);
+}
+
+TEST(Topology, SummaryMentionsShape)
+{
+    Topology topo(testbed());
+    const std::string s = topo.summary();
+    EXPECT_NE(s.find("16 nodes"), std::string::npos);
+    EXPECT_NE(s.find("8 spines"), std::string::npos);
+}
+
+TEST(Topology, UnevenLastSegment)
+{
+    TopologyConfig tc = testbed();
+    tc.numNodes = 10; // 2 full segments + one partial
+    Topology topo(tc);
+    EXPECT_EQ(topo.numSegments(), 3);
+    EXPECT_EQ(topo.segmentOf(9), 2);
+}
+
+class TopologyPlaneParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TopologyPlaneParam, EveryNicHasBothPlanesWired)
+{
+    Topology topo(testbed());
+    const Plane plane = planeFromIndex(GetParam());
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        for (NicId k = 0; k < topo.nicsPerNode(); ++k) {
+            const LinkId up = topo.hostUplink(n, k, plane);
+            const LinkId down = topo.hostDownlink(n, k, plane);
+            ASSERT_NE(up, kInvalidId);
+            ASSERT_NE(down, kInvalidId);
+            EXPECT_EQ(topo.link(up).plane, plane);
+            EXPECT_EQ(topo.link(down).plane, plane);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPlanes, TopologyPlaneParam,
+                         ::testing::Values(0, 1));
+
+} // namespace
+} // namespace c4::net
