@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "c4d/downtime.h"
 #include "common/table.h"
 
@@ -16,8 +17,9 @@ using namespace c4;
 using namespace c4::c4d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     const std::vector<std::pair<const char *, Duration>> intervals = {
         {"8 h", hours(8)},       {"4.5 h", hours(4.5)},
         {"1 h", hours(1)},       {"30 min", minutes(30)},
@@ -32,7 +34,7 @@ main()
         p.checkpointInterval = interval;
         DowntimeModel model(p, fault::FaultRates::paperDecember2023(),
                             2400, days(30), 0xC4C4);
-        const DowntimeBreakdown b = model.run(256);
+        const DowntimeBreakdown b = model.run(opt.pick(256, 8));
         t.addRow({label, AsciiTable::percent(b.postCheckpoint, 3),
                   AsciiTable::percent(b.total(), 3),
                   std::string(label) == "10 min"

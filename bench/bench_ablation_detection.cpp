@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "core/cluster.h"
 #include "train/job.h"
@@ -31,7 +32,8 @@ struct Outcome
 };
 
 Outcome
-runNicFault(double severity, std::uint64_t seed)
+runNicFault(const bench::Options &opt, double severity,
+            std::uint64_t seed)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed();
@@ -65,7 +67,7 @@ runNicFault(double severity, std::uint64_t seed)
     }
     const Time fault_time = cluster.sim().now();
 
-    cluster.run(minutes(8));
+    cluster.run(opt.pick(minutes(8), minutes(2)));
     Outcome out;
     for (const auto &ev : cluster.c4dMaster()->eventLog()) {
         if (ev.when < fault_time ||
@@ -81,7 +83,8 @@ runNicFault(double severity, std::uint64_t seed)
 }
 
 Outcome
-runStraggler(double compute_scale, std::uint64_t seed)
+runStraggler(const bench::Options &opt, double compute_scale,
+             std::uint64_t seed)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed();
@@ -108,7 +111,7 @@ runStraggler(double compute_scale, std::uint64_t seed)
     job.setNodeComputeScale(victim, compute_scale);
     const Time fault_time = cluster.sim().now();
 
-    cluster.run(minutes(8));
+    cluster.run(opt.pick(minutes(8), minutes(2)));
     Outcome out;
     for (const auto &ev : cluster.c4dMaster()->eventLog()) {
         if (ev.when < fault_time ||
@@ -126,12 +129,16 @@ runStraggler(double compute_scale, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     AsciiTable nic({"NIC Rx capacity left", "Detected", "Localized",
                     "Latency (s)"});
-    for (double severity : {0.9, 0.7, 0.5, 0.3, 0.1}) {
-        const Outcome o = runNicFault(severity, 0xDE7E);
+    const std::vector<double> severities =
+        opt.pick(std::vector<double>{0.9, 0.7, 0.5, 0.3, 0.1},
+                 std::vector<double>{0.1});
+    for (double severity : severities) {
+        const Outcome o = runNicFault(opt, severity, 0xDE7E);
         char label[16];
         std::snprintf(label, sizeof(label), "%.0f%%", severity * 100);
         nic.addRow({label, o.detected ? "yes" : "no",
@@ -146,8 +153,11 @@ main()
 
     AsciiTable strag({"Straggler compute factor", "Detected",
                       "Localized", "Latency (s)"});
-    for (double scale : {1.05, 1.2, 1.5, 2.0, 3.0}) {
-        const Outcome o = runStraggler(scale, 0xDE7F);
+    const std::vector<double> scales =
+        opt.pick(std::vector<double>{1.05, 1.2, 1.5, 2.0, 3.0},
+                 std::vector<double>{3.0});
+    for (double scale : scales) {
+        const Outcome o = runStraggler(opt, scale, 0xDE7F);
         char label[16];
         std::snprintf(label, sizeof(label), "%.2fx", scale);
         strag.addRow({label, o.detected ? "yes" : "no",

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "core/cluster.h"
 #include "core/placement.h"
@@ -34,7 +35,8 @@ struct Result
 };
 
 Result
-run(PlacementStrategy strategy, bool c4p, std::uint64_t seed)
+run(const bench::Options &opt, PlacementStrategy strategy, bool c4p,
+    std::uint64_t seed)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed();
@@ -59,7 +61,7 @@ run(PlacementStrategy strategy, bool c4p, std::uint64_t seed)
     }
     for (auto *j : jobs)
         j->start();
-    cluster.run(minutes(10));
+    cluster.run(opt.pick(minutes(10), seconds(40)));
     for (auto *j : jobs)
         result.samplesPerSec += j->meanSamplesPerSec();
     return result;
@@ -68,15 +70,17 @@ run(PlacementStrategy strategy, bool c4p, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const Result packed = run(PlacementStrategy::Packed, false, 0xA41);
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    const Result packed =
+        run(opt, PlacementStrategy::Packed, false, 0xA41);
     const Result packed_c4p =
-        run(PlacementStrategy::Packed, true, 0xA41);
+        run(opt, PlacementStrategy::Packed, true, 0xA41);
     const Result scattered =
-        run(PlacementStrategy::Scattered, false, 0xA41);
+        run(opt, PlacementStrategy::Scattered, false, 0xA41);
     const Result scattered_c4p =
-        run(PlacementStrategy::Scattered, true, 0xA41);
+        run(opt, PlacementStrategy::Scattered, true, 0xA41);
 
     AsciiTable t({"Placement", "Segments/job", "Total samples/s",
                   "vs packed"});

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "accl/path_policy.h"
+#include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/cluster.h"
@@ -30,8 +31,8 @@ using namespace c4::core;
 namespace {
 
 Summary
-runPolicy(bool dual_port, bool spines, bool enable_c4p,
-          std::uint64_t seed, bool spray = false)
+runPolicy(const bench::Options &opt, bool dual_port, bool spines,
+          bool enable_c4p, std::uint64_t seed, bool spray = false)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed();
@@ -51,7 +52,7 @@ runPolicy(bool dual_port, bool spines, bool enable_c4p,
         tc.job = static_cast<JobId>(i + 1);
         tc.nodes = placements[i];
         tc.bytes = mib(256);
-        tc.iterations = 30;
+        tc.iterations = opt.pick(30, 4);
         tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
     }
     for (auto &t : tasks)
@@ -67,8 +68,9 @@ runPolicy(bool dual_port, bool spines, bool enable_c4p,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     struct Config
     {
         const char *name;
@@ -82,13 +84,13 @@ main()
         {"full C4P (both rules)", true, true, true, false},
     };
 
-    constexpr int kTrials = 6;
+    const int kTrials = opt.pick(6, 1);
     AsciiTable t({"Policy", "Mean busbw (Gbps)", "Min task", "Max task"});
     for (const auto &cfg : configs) {
         Summary mean, mn, mx;
         for (int trial = 0; trial < kTrials; ++trial) {
-            const Summary s = runPolicy(cfg.dual, cfg.spine, cfg.c4p,
-                                        0xAB1A + 977u * trial,
+            const Summary s = runPolicy(opt, cfg.dual, cfg.spine,
+                                        cfg.c4p, 0xAB1A + 977u * trial,
                                         cfg.spray);
             mean.add(s.mean());
             mn.add(s.min());
@@ -97,9 +99,11 @@ main()
         t.addRow({cfg.name, AsciiTable::num(mean.mean()),
                   AsciiTable::num(mn.mean()), AsciiTable::num(mx.mean())});
     }
-    std::printf("%s\n",
-                t.str("Ablation A1: C4P allocation rules "
-                      "(Fig. 10a workload, mean of 6 trials)")
-                    .c_str());
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "Ablation A1: C4P allocation rules "
+                  "(Fig. 10a workload, mean of %d trials)",
+                  kTrials);
+    std::printf("%s\n", t.str(title).c_str());
     return 0;
 }

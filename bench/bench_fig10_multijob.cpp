@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/cluster.h"
@@ -24,7 +25,8 @@ using namespace c4::core;
 namespace {
 
 std::vector<double>
-runTasks(double oversub, bool c4p, std::uint64_t seed)
+runTasks(const bench::Options &opt, double oversub, bool c4p,
+         std::uint64_t seed)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed(oversub);
@@ -39,7 +41,7 @@ runTasks(double oversub, bool c4p, std::uint64_t seed)
         tc.job = static_cast<JobId>(i + 1);
         tc.nodes = placements[i];
         tc.bytes = mib(256);
-        tc.iterations = 40;
+        tc.iterations = opt.pick(40, 4);
         tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
     }
     for (auto &t : tasks)
@@ -53,11 +55,11 @@ runTasks(double oversub, bool c4p, std::uint64_t seed)
 }
 
 void
-runOne(double oversub, const char *title, const char *paper_base,
-       const char *paper_c4p)
+runOne(const bench::Options &opt, double oversub, const char *title,
+       const char *paper_base, const char *paper_c4p)
 {
-    const auto base = runTasks(oversub, false, 0xF16A01);
-    const auto c4p = runTasks(oversub, true, 0xF16A01);
+    const auto base = runTasks(opt, oversub, false, 0xF16A01);
+    const auto c4p = runTasks(opt, oversub, true, 0xF16A01);
 
     AsciiTable t({"Task", "Baseline (Gbps)", "C4P-GTE (Gbps)"});
     double base_total = 0, c4p_total = 0;
@@ -90,12 +92,13 @@ runOne(double oversub, const char *title, const char *paper_base,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    runOne(1.0,
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    runOne(opt, 1.0,
            "Fig. 10a: 8 concurrent allreduce jobs, 1:1 oversubscription",
            "171.93 - 263.27", "353.86 - 360.57 (+70.3%)");
-    runOne(2.0,
+    runOne(opt, 2.0,
            "Fig. 10b: 8 concurrent allreduce jobs, 2:1 oversubscription",
            "(degraded, wide spread)", "spread 11.27 Gbps (+65.55%)");
     return 0;

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/cluster.h"
@@ -19,8 +20,9 @@ using namespace c4;
 using namespace c4::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     ClusterConfig cc;
     cc.topology = paperTestbed(2.0); // congested 2:1 network
     cc.enableC4p = true;
@@ -33,7 +35,7 @@ main()
         tc.job = static_cast<JobId>(i + 1);
         tc.nodes = placements[i];
         tc.bytes = mib(256);
-        tc.iterations = 1200;
+        tc.iterations = opt.pick(1200, 30);
         tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
     }
     for (auto &t : tasks)
@@ -58,7 +60,7 @@ main()
         }
     });
     sampler.start();
-    cluster.run(seconds(120));
+    cluster.run(opt.pick(seconds(120), seconds(10)));
     sampler.stop();
 
     AsciiTable t({"t (s)", "mean (kp/s)", "min", "max"});

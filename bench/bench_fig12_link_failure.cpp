@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/cluster.h"
@@ -33,7 +34,7 @@ struct RunResult
 };
 
 RunResult
-run(bool dynamic_lb, std::uint64_t seed)
+run(const bench::Options &opt, bool dynamic_lb, std::uint64_t seed)
 {
     ClusterConfig cc;
     // Same 16-node testbed, but grouped as 2 segments of 8 so that
@@ -62,7 +63,7 @@ run(bool dynamic_lb, std::uint64_t seed)
         tc.job = static_cast<JobId>(i + 1);
         tc.nodes = placements[i];
         tc.bytes = mib(256);
-        tc.iterations = 1500;
+        tc.iterations = opt.pick(1500, 100);
         auto task = std::make_unique<AllreduceTask>(cluster, tc);
         task->onIteration([&, i, fail_at](int, double bw) {
             if (cluster.sim().now() < fail_at)
@@ -88,7 +89,7 @@ run(bool dynamic_lb, std::uint64_t seed)
             cluster.topology().trunkDownlink(0, leaf), false);
     });
 
-    cluster.run(seconds(40));
+    cluster.run(opt.pick(seconds(40), seconds(12)));
     for (auto &s : after_per_task)
         result.taskAfterMean.push_back(s.empty() ? 0.0 : s.mean());
     return result;
@@ -97,10 +98,11 @@ run(bool dynamic_lb, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunResult stat = run(false, 0xF16B01);
-    const RunResult dyn = run(true, 0xF16B01);
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    const RunResult stat = run(opt, false, 0xF16B01);
+    const RunResult dyn = run(opt, true, 0xF16B01);
 
     AsciiTable t({"Task", "Static TE, after failure (Gbps)",
                   "Dynamic LB, after failure (Gbps)"});

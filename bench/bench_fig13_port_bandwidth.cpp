@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/cluster.h"
@@ -32,7 +33,7 @@ struct PortSeries
 };
 
 PortSeries
-run(bool dynamic_lb)
+run(const bench::Options &opt, bool dynamic_lb)
 {
     ClusterConfig cc;
     // Fully-loaded leaves, as in the Fig. 12 run (see that bench).
@@ -51,7 +52,7 @@ run(bool dynamic_lb)
         tc.job = static_cast<JobId>(i + 1);
         tc.nodes = placements[i];
         tc.bytes = mib(256);
-        tc.iterations = 2600;
+        tc.iterations = opt.pick(2600, 100);
         tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
     }
     for (auto &t : tasks)
@@ -80,7 +81,7 @@ run(bool dynamic_lb)
         }
     });
     sampler.start();
-    cluster.run(seconds(30));
+    cluster.run(opt.pick(seconds(30), seconds(12)));
     sampler.stop();
 
     Summary surviving;
@@ -113,10 +114,11 @@ print(const char *title, const PortSeries &s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const PortSeries stat = run(false);
-    const PortSeries dyn = run(true);
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    const PortSeries stat = run(opt, false);
+    const PortSeries dyn = run(opt, true);
     print("Fig. 13a: leaf uplink bandwidth, C4P static traffic "
           "engineering",
           stat);

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "core/cluster.h"
 #include "train/job.h"
@@ -79,7 +80,7 @@ struct Measured
 };
 
 Measured
-run(const JobConfig &base, bool c4p)
+run(const bench::Options &opt, const JobConfig &base, bool c4p)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed();
@@ -95,7 +96,7 @@ run(const JobConfig &base, bool c4p)
         total += toSeconds(st.end - st.start);
     });
     job.start();
-    cluster.run(minutes(30));
+    cluster.run(opt.pick(minutes(30), seconds(40)));
 
     Measured m;
     m.samplesPerSec = job.meanSamplesPerSec();
@@ -106,8 +107,9 @@ run(const JobConfig &base, bool c4p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     const std::vector<JobConfig> jobs = {job1(), job2(), job3()};
     const std::vector<const char *> paper = {"+15.95% (74.82 -> 86.76)",
                                              "+14.1% (156.59 -> 178.65)",
@@ -116,8 +118,8 @@ main()
     AsciiTable t({"Job", "Baseline (samples/s)", "C4P (samples/s)",
                   "Gain", "Comm share", "Paper"});
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const Measured base = run(jobs[i], false);
-        const Measured c4p = run(jobs[i], true);
+        const Measured base = run(opt, jobs[i], false);
+        const Measured c4p = run(opt, jobs[i], true);
         t.addRow({jobs[i].name, AsciiTable::num(base.samplesPerSec),
                   AsciiTable::num(c4p.samplesPerSec),
                   AsciiTable::percent(

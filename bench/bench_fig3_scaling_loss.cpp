@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "core/cluster.h"
 #include "train/job.h"
@@ -25,7 +26,8 @@ using namespace c4::train;
 namespace {
 
 double
-runScale(int num_nodes, std::uint64_t seed, bool clean_network = false)
+runScale(const bench::Options &opt, int num_nodes, std::uint64_t seed,
+         bool clean_network = false)
 {
     ClusterConfig cc;
     cc.topology = productionPod(std::max(4, num_nodes));
@@ -42,23 +44,26 @@ runScale(int num_nodes, std::uint64_t seed, bool clean_network = false)
     jc.dpGroupsSimulated = 2;
     auto &job = cluster.addJob(jc);
     job.start();
-    cluster.run(minutes(num_nodes >= 32 ? 3 : 8));
+    cluster.run(opt.pick(minutes(num_nodes >= 32 ? 3 : 8),
+                         seconds(40)));
     return job.meanSamplesPerSec();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<int> node_counts = {2, 4, 8, 16, 32, 64};
-    constexpr int kTrials = 2;
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    const std::vector<int> node_counts = opt.pick(
+        std::vector<int>{2, 4, 8, 16, 32, 64}, std::vector<int>{2, 4});
+    const int kTrials = opt.pick(2, 1);
 
     // Per-GPU ideal: linear scaling of the smallest configuration on a
     // collision-free network.
     double base_thr = 0.0;
     for (int trial = 0; trial < kTrials; ++trial)
-        base_thr += runScale(2, 0x516F + 131u * trial,
+        base_thr += runScale(opt, 2, 0x516F + 131u * trial,
                              /*clean_network=*/true);
     base_thr /= kTrials;
     const double ideal_per_node = base_thr / 2.0;
@@ -68,7 +73,7 @@ main()
     for (int nodes : node_counts) {
         double actual = 0.0;
         for (int trial = 0; trial < kTrials; ++trial)
-            actual += runScale(nodes, 0x516F + 131u * trial);
+            actual += runScale(opt, nodes, 0x516F + 131u * trial);
         actual /= kTrials;
         const double ideal = ideal_per_node * nodes;
         char gpus[16];

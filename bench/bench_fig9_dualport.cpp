@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/cluster.h"
@@ -37,7 +38,8 @@ spreadNodes(const net::Topology &topo, int count)
 }
 
 double
-runTrial(int num_nodes, bool c4p, std::uint64_t seed)
+runTrial(const bench::Options &opt, int num_nodes, bool c4p,
+         std::uint64_t seed)
 {
     ClusterConfig cc;
     cc.topology = paperTestbed();
@@ -48,7 +50,7 @@ runTrial(int num_nodes, bool c4p, std::uint64_t seed)
     AllreduceTaskConfig tc;
     tc.nodes = spreadNodes(cluster.topology(), num_nodes);
     tc.bytes = mib(256);
-    tc.iterations = 25;
+    tc.iterations = opt.pick(25, 3);
     AllreduceTask task(cluster, tc);
     task.start();
     cluster.run();
@@ -58,10 +60,12 @@ runTrial(int num_nodes, bool c4p, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    constexpr int kTrials = 8;
-    const std::vector<int> node_counts = {2, 4, 8, 16};
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    const int kTrials = opt.pick(8, 1);
+    const std::vector<int> node_counts =
+        opt.pick(std::vector<int>{2, 4, 8, 16}, std::vector<int>{2, 4});
 
     AsciiTable t({"GPUs", "Baseline (Gbps)", "C4P (Gbps)", "Gain",
                   "Paper baseline", "Paper C4P"});
@@ -69,8 +73,8 @@ main()
         Summary base, c4p;
         for (int trial = 0; trial < kTrials; ++trial) {
             const auto seed = 0xF19000ull + 7919u * trial;
-            base.add(runTrial(nodes, false, seed));
-            c4p.add(runTrial(nodes, true, seed));
+            base.add(runTrial(opt, nodes, false, seed));
+            c4p.add(runTrial(opt, nodes, true, seed));
         }
         char gpus[16];
         std::snprintf(gpus, sizeof(gpus), "%d", nodes * 8);
@@ -79,11 +83,12 @@ main()
                   AsciiTable::percent(c4p.mean() / base.mean() - 1.0, 1),
                   "< 240", "~360"});
     }
-    std::printf(
-        "%s\n",
-        t.str("Fig. 9: allreduce busbw, dual-port balance "
-              "(ring, 256 MiB, mean of 8 trials)")
-            .c_str());
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 9: allreduce busbw, dual-port balance "
+                  "(ring, 256 MiB, mean of %d trials)",
+                  kTrials);
+    std::printf("%s\n", t.str(title).c_str());
     std::printf("NVLink busbw ceiling: 362 Gbps (paper Section IV-B)\n");
     return 0;
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "fault/injector.h"
@@ -48,10 +49,12 @@ rootCauseLabel(FaultType t)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     constexpr int kNodes = 512; // 4096 GPUs
-    constexpr int kMonths = 12; // aggregate several months for stability
+    // Aggregate several months for stability (one in smoke mode).
+    const int kMonths = opt.pick(12, 1);
 
     Simulator sim;
     FaultInjector injector(sim, /*seed=*/20240406);

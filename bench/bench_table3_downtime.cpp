@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "c4d/downtime.h"
 #include "common/table.h"
 #include "common/types.h"
@@ -62,10 +63,11 @@ printColumn(const char *title, const DowntimeBreakdown &b,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     constexpr int kGpus = 2400; // the paper's month-long study job
-    constexpr int kTrials = 256;
+    const int kTrials = opt.pick(256, 8);
 
     DowntimeModel june(RecoveryPolicy::june2023(),
                        fault::FaultRates::paperJune2023(), kGpus,

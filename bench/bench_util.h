@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared driver plumbing for the paper-figure benches. Every driver
+ * accepts `--smoke`: a seconds-scale run that exercises the full code
+ * path with slashed trial counts, iteration budgets, and simulated
+ * horizons. CTest registers each driver with `--smoke` under the
+ * `bench-smoke` label (ctest -L bench-smoke) so the figure code cannot
+ * silently rot. Numbers printed in smoke mode are NOT
+ * paper-comparable.
+ */
+
+#ifndef C4_BENCH_BENCH_UTIL_H
+#define C4_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace c4::bench {
+
+struct Options
+{
+    bool smoke = false;
+
+    /** The full-fidelity value, or the slashed one in smoke mode. */
+    template <typename T>
+    T
+    pick(T full, T tiny) const
+    {
+        return smoke ? tiny : full;
+    }
+};
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            opt.smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opt.smoke)
+        std::printf("[smoke] reduced trials/iterations/horizons; "
+                    "numbers are not paper-comparable\n");
+    return opt;
+}
+
+} // namespace c4::bench
+
+#endif // C4_BENCH_BENCH_UTIL_H

@@ -9,59 +9,14 @@
 
 #include "accl/accl.h"
 #include "net/fabric.h"
+#include "testutil/testutil.h"
 
 namespace c4::accl {
 namespace {
 
-using net::Fabric;
-using net::FabricConfig;
 using net::Plane;
-using net::Topology;
-using net::TopologyConfig;
 
-struct Harness
-{
-    Simulator sim;
-    Topology topo;
-    Fabric fabric;
-    Accl lib;
-
-    explicit Harness(int nodes = 4, std::uint64_t seed = 0xABCDull)
-        : topo(makeConfig(nodes)), fabric(sim, topo, quietFabric()),
-          lib(sim, fabric, AcclConfig{}, seed)
-    {
-    }
-
-    static TopologyConfig
-    makeConfig(int nodes)
-    {
-        TopologyConfig tc;
-        tc.numNodes = nodes;
-        tc.nodesPerSegment = 1; // every node pair crosses the spines
-        tc.numSpines = 8;
-        return tc;
-    }
-
-    static FabricConfig
-    quietFabric()
-    {
-        FabricConfig fc;
-        fc.congestionJitter = false;
-        return fc;
-    }
-
-    std::vector<DeviceInfo>
-    fullNodes(std::vector<NodeId> nodes)
-    {
-        std::vector<DeviceInfo> devices;
-        for (NodeId n : nodes) {
-            for (int g = 0; g < topo.gpusPerNode(); ++g)
-                devices.push_back(
-                    {n, static_cast<GpuId>(g), static_cast<NicId>(g)});
-        }
-        return devices;
-    }
-};
+using Harness = testutil::AcclHarness;
 
 /** Pins rx plane to tx plane and spreads spines: an ideal-path policy. */
 class PinnedPolicy : public PathPolicy
@@ -353,28 +308,21 @@ TEST(Accl, PolicyRebalanceWeightsRespected)
         }
     };
 
-    Simulator sim;
-    TopologyConfig tc = Harness::makeConfig(2);
-    Topology topo(tc);
-    Fabric fabric(sim, topo, Harness::quietFabric());
     AcclConfig ac;
     ac.qpsPerConnection = 2;
-    Accl lib(sim, fabric, ac);
+    Harness h(testutil::flatConfig(2), testutil::quietFabricConfig(),
+              ac);
+    Accl &lib = h.lib;
 
     LopsidedPolicy policy;
     lib.setPathPolicy(&policy);
 
-    std::vector<DeviceInfo> devices;
-    for (NodeId n = 0; n < 2; ++n)
-        for (int g = 0; g < 8; ++g)
-            devices.push_back(
-                {n, static_cast<GpuId>(g), static_cast<NicId>(g)});
-    CommId comm = lib.createCommunicator(1, devices);
+    CommId comm = lib.createCommunicator(1, h.fullNodes({0, 1}));
 
     bool fired = false;
     lib.postCollective(comm, CollOp::AllReduce, mib(64),
                        [&](const CollectiveResult &) { fired = true; });
-    sim.run();
+    h.sim.run();
     EXPECT_TRUE(fired);
 
     // QP 1 carries traffic only in each connection's first round (the

@@ -13,6 +13,7 @@
 #include "c4d/master.h"
 #include "c4d/steering.h"
 #include "net/fabric.h"
+#include "testutil/testutil.h"
 #include "train/job.h"
 
 namespace c4::c4d {
@@ -22,84 +23,12 @@ using accl::Accl;
 using accl::CollOp;
 using accl::DeviceInfo;
 
-struct Harness
-{
-    Simulator sim;
-    net::Topology topo;
-    net::Fabric fabric;
-    Accl lib;
-    C4dMaster master;
-    C4Agent agent;
-
-    explicit Harness(C4dConfig cfg = fastConfig())
-        : topo(topoConfig()), fabric(sim, topo, quietFabric()),
-          lib(sim, fabric), master(sim, cfg),
-          agent(sim, lib.monitor(), master, seconds(1))
-    {
-        master.start();
-        agent.start();
-    }
-
-    static C4dConfig
-    fastConfig()
-    {
-        C4dConfig cfg;
-        cfg.evaluatePeriod = seconds(2);
-        cfg.hangThreshold = seconds(20);
-        return cfg;
-    }
-
-    static net::TopologyConfig
-    topoConfig()
-    {
-        net::TopologyConfig tc;
-        tc.numNodes = 4;
-        tc.nodesPerSegment = 1;
-        tc.numSpines = 8;
-        return tc;
-    }
-
-    static net::FabricConfig
-    quietFabric()
-    {
-        net::FabricConfig fc;
-        fc.congestionJitter = false;
-        return fc;
-    }
-
-    CommId
-    makeComm(std::vector<NodeId> nodes, JobId job = 1)
-    {
-        std::vector<DeviceInfo> devices;
-        for (NodeId n : nodes) {
-            for (int g = 0; g < topo.gpusPerNode(); ++g)
-                devices.push_back(
-                    {n, static_cast<GpuId>(g), static_cast<NicId>(g)});
-        }
-        return lib.createCommunicator(job, std::move(devices));
-    }
-
-    /** Drive a steady stream of allreduces on a comm. */
-    void
-    pump(CommId comm, Bytes bytes, int remaining,
-         std::vector<Duration> delays = {})
-    {
-        if (remaining <= 0)
-            return;
-        lib.postCollective(
-            comm, CollOp::AllReduce, bytes,
-            [this, comm, bytes, remaining,
-             delays](const accl::CollectiveResult &) {
-                pump(comm, bytes, remaining - 1, delays);
-            },
-            delays);
-    }
-};
+using Harness = testutil::C4dHarness;
 
 TEST(C4dAgent, RegistersAndDeregistersComms)
 {
     Harness h;
-    const CommId comm = h.makeComm({0, 1});
+    const CommId comm = h.fullComm({0, 1});
     h.agent.collectOnce();
     EXPECT_EQ(h.master.liveComms(), 1u);
 
@@ -111,7 +40,7 @@ TEST(C4dAgent, RegistersAndDeregistersComms)
 TEST(C4dMaster, HealthyTrafficEmitsNothing)
 {
     Harness h;
-    const CommId comm = h.makeComm({0, 1});
+    const CommId comm = h.fullComm({0, 1});
     h.pump(comm, mib(64), 20);
     h.sim.run(minutes(2));
     EXPECT_GT(h.master.evaluations(), 10u);
@@ -121,7 +50,7 @@ TEST(C4dMaster, HealthyTrafficEmitsNothing)
 TEST(C4dMaster, DetectsNonCommHangWithinSeconds)
 {
     Harness h;
-    const CommId comm = h.makeComm({0, 1});
+    const CommId comm = h.fullComm({0, 1});
     h.pump(comm, mib(64), 1000000);
     h.sim.run(seconds(30));
 
@@ -152,7 +81,7 @@ TEST(C4dMaster, DetectsNonCommHangWithinSeconds)
 TEST(C4dMaster, DetectsCommSlowFromRxDegradation)
 {
     Harness h;
-    const CommId comm = h.makeComm({0, 1, 2});
+    const CommId comm = h.fullComm({0, 1, 2});
     h.pump(comm, mib(64), 1000000);
     h.sim.run(seconds(20));
 
@@ -187,7 +116,7 @@ TEST(C4dMaster, DetectsCommSlowFromRxDegradation)
 TEST(C4dMaster, DetectsNonCommSlowStraggler)
 {
     Harness h;
-    const CommId comm = h.makeComm({0, 1, 2, 3});
+    const CommId comm = h.fullComm({0, 1, 2, 3});
     // Ranks on node 2 post late every iteration (straggler compute):
     // everyone else's recv wait is large, node 2's is ~zero.
     std::vector<Duration> delays(
@@ -215,7 +144,7 @@ TEST(C4dMaster, DetectsNonCommSlowStraggler)
 TEST(C4dMaster, CooldownSuppressesDuplicateSlowFindings)
 {
     Harness h;
-    const CommId comm = h.makeComm({0, 1, 2, 3});
+    const CommId comm = h.fullComm({0, 1, 2, 3});
     std::vector<Duration> delays(
         static_cast<std::size_t>(h.lib.communicator(comm).size()), 0);
     for (Rank r : h.lib.communicator(comm).ranksOnNode(2))
@@ -235,20 +164,10 @@ TEST(C4dMaster, CooldownSuppressesDuplicateSlowFindings)
 
 TEST(Steering, IsolatesAndRestartsOnFatalEvent)
 {
-    Simulator sim;
-    net::Topology topo(Harness::topoConfig());
-    net::Fabric fabric(sim, topo, Harness::quietFabric());
-    Accl lib(sim, fabric);
+    testutil::AcclHarness h;
+    Simulator &sim = h.sim;
 
-    train::JobConfig jc;
-    jc.id = 7;
-    jc.model = train::llama7b();
-    jc.model.microbatchCompute = milliseconds(300);
-    jc.parallel = {.tp = 8, .pp = 1, .dp = 2};
-    jc.nodes = {0, 1};
-    jc.initTime = seconds(5);
-    jc.dpGroupsSimulated = 1;
-    train::TrainingJob job(sim, lib, jc);
+    train::TrainingJob job(sim, h.lib, testutil::smallJobConfig(7));
 
     SteeringConfig sc;
     sc.isolationDelay = minutes(1);
@@ -281,21 +200,12 @@ TEST(Steering, IsolatesAndRestartsOnFatalEvent)
 
 TEST(Steering, WatchdogPathUsesManualRecovery)
 {
-    Simulator sim;
-    net::Topology topo(Harness::topoConfig());
-    net::Fabric fabric(sim, topo, Harness::quietFabric());
-    Accl lib(sim, fabric);
+    testutil::AcclHarness h;
+    Simulator &sim = h.sim;
 
-    train::JobConfig jc;
-    jc.id = 3;
-    jc.model = train::llama7b();
-    jc.model.microbatchCompute = milliseconds(300);
-    jc.parallel = {.tp = 8, .pp = 1, .dp = 2};
-    jc.nodes = {0, 1};
-    jc.initTime = seconds(5);
+    train::JobConfig jc = testutil::smallJobConfig(3);
     jc.hangWatchdogTimeout = minutes(5);
-    jc.dpGroupsSimulated = 1;
-    train::TrainingJob job(sim, lib, jc);
+    train::TrainingJob job(sim, h.lib, jc);
 
     SteeringConfig sc;
     sc.manualDiagnosisMedian = hours(2);
@@ -316,20 +226,10 @@ TEST(Steering, WatchdogPathUsesManualRecovery)
 
 TEST(Steering, BackupExhaustionKeepsPlacement)
 {
-    Simulator sim;
-    net::Topology topo(Harness::topoConfig());
-    net::Fabric fabric(sim, topo, Harness::quietFabric());
-    Accl lib(sim, fabric);
+    testutil::AcclHarness h;
+    Simulator &sim = h.sim;
 
-    train::JobConfig jc;
-    jc.id = 1;
-    jc.model = train::llama7b();
-    jc.model.microbatchCompute = milliseconds(300);
-    jc.parallel = {.tp = 8, .pp = 1, .dp = 2};
-    jc.nodes = {0, 1};
-    jc.initTime = seconds(5);
-    jc.dpGroupsSimulated = 1;
-    train::TrainingJob job(sim, lib, jc);
+    train::TrainingJob job(sim, h.lib, testutil::smallJobConfig());
 
     JobSteeringService steering(sim, SteeringConfig{});
     steering.manageJob(job); // no backups provisioned

@@ -12,43 +12,20 @@
 #include "c4p/master.h"
 #include "c4p/prober.h"
 #include "net/fabric.h"
+#include "testutil/testutil.h"
 
 namespace c4::c4p {
 namespace {
 
 using accl::ConnContext;
 using accl::PathDecision;
-
-net::TopologyConfig
-testbed()
-{
-    net::TopologyConfig tc;
-    tc.numNodes = 16;
-    tc.nodesPerSegment = 4;
-    tc.numSpines = 8;
-    return tc;
-}
-
-ConnContext
-crossSegmentCtx(int channel = 0, int qp = 0, NodeId src = 0,
-                NodeId dst = 4)
-{
-    ConnContext ctx;
-    ctx.job = 1;
-    ctx.comm = 1;
-    ctx.channel = channel;
-    ctx.qpIndex = qp;
-    ctx.srcNode = src;
-    ctx.srcNic = 0;
-    ctx.dstNode = dst;
-    ctx.dstNic = 0;
-    return ctx;
-}
+using testutil::makeConnContext;
+using testutil::podConfig;
 
 TEST(Prober, AllHealthyCatalog)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     net::Fabric fabric(sim, topo);
     PathProber prober(sim, fabric);
 
@@ -68,7 +45,7 @@ TEST(Prober, AllHealthyCatalog)
 TEST(Prober, DetectsDeadTrunk)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     net::Fabric fabric(sim, topo);
     fabric.setLinkUp(topo.trunkUplink(0, 3), false);
 
@@ -89,7 +66,7 @@ TEST(Prober, DetectsDeadTrunk)
 TEST(Prober, ManagementViewMatchesTopology)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     net::Fabric fabric(sim, topo);
     topo.setLinkUp(topo.trunkDownlink(5, 2), false);
     const ProbeCatalog catalog =
@@ -101,12 +78,12 @@ TEST(Prober, ManagementViewMatchesTopology)
 TEST(C4pMaster, DualPortRulePinsRxPlane)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pMaster master(sim, topo);
 
     for (int channel = 0; channel < 2; ++channel) {
         const PathDecision d =
-            master.decide(crossSegmentCtx(channel, 0));
+            master.decide(makeConnContext(channel, 0));
         ASSERT_NE(d.rxPlane, kInvalidId);
         EXPECT_EQ(d.rxPlane, net::planeIndex(d.txPlane));
     }
@@ -115,24 +92,24 @@ TEST(C4pMaster, DualPortRulePinsRxPlane)
 TEST(C4pMaster, DualPortRuleCanBeDisabled)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pConfig cfg;
     cfg.balanceDualPort = false;
     C4pMaster master(sim, topo, cfg);
-    EXPECT_EQ(master.decide(crossSegmentCtx()).rxPlane, kInvalidId);
+    EXPECT_EQ(master.decide(makeConnContext()).rxPlane, kInvalidId);
 }
 
 TEST(C4pMaster, SpineBalanceSpreadsQps)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pMaster master(sim, topo);
 
     // 16 QPs from segment 0 to segment 1, all on the left plane
     // (channel 0): must spread 2-per-spine across the 8 spines.
     std::map<int, int> spine_counts;
     for (int i = 0; i < 16; ++i) {
-        ConnContext ctx = crossSegmentCtx(0, 0, /*src=*/0, /*dst=*/4);
+        ConnContext ctx = makeConnContext(0, 0, /*src=*/0, /*dst=*/4);
         ctx.comm = i; // distinct QP identities
         const PathDecision d = master.decide(ctx);
         ASSERT_NE(d.spine, kInvalidId);
@@ -147,10 +124,10 @@ TEST(C4pMaster, SpineBalanceSpreadsQps)
 TEST(C4pMaster, LoadAccountingReleases)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pMaster master(sim, topo);
 
-    ConnContext ctx = crossSegmentCtx();
+    ConnContext ctx = makeConnContext();
     const PathDecision d = master.decide(ctx);
     const int tx_leaf = topo.leafIndex(0, d.txPlane);
     EXPECT_EQ(master.uplinkLoad(tx_leaf, d.spine), 1);
@@ -162,7 +139,7 @@ TEST(C4pMaster, LoadAccountingReleases)
 TEST(C4pMaster, AvoidsFaultyTrunksAtAllocation)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pMaster master(sim, topo);
 
     // Kill spine 0 and 1 uplinks from segment 0's left leaf.
@@ -171,7 +148,7 @@ TEST(C4pMaster, AvoidsFaultyTrunksAtAllocation)
     topo.setLinkUp(topo.trunkUplink(tx_leaf, 1), false);
 
     for (int i = 0; i < 12; ++i) {
-        ConnContext ctx = crossSegmentCtx(0, 0);
+        ConnContext ctx = makeConnContext(0, 0);
         ctx.comm = i;
         const PathDecision d = master.decide(ctx);
         // Channel 0 departs the left plane from segment 0.
@@ -183,10 +160,10 @@ TEST(C4pMaster, AvoidsFaultyTrunksAtAllocation)
 TEST(C4pMaster, IntraSegmentNeedsNoSpine)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pMaster master(sim, topo);
     const PathDecision d =
-        master.decide(crossSegmentCtx(0, 0, /*src=*/0, /*dst=*/1));
+        master.decide(makeConnContext(0, 0, /*src=*/0, /*dst=*/1));
     EXPECT_EQ(d.spine, kInvalidId); // same segment: leaf-local
     EXPECT_NE(d.rxPlane, kInvalidId);
 }
@@ -194,13 +171,13 @@ TEST(C4pMaster, IntraSegmentNeedsNoSpine)
 TEST(C4pMaster, DynamicRebalanceRepinsDeadSpine)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pConfig cfg;
     cfg.dynamicLoadBalance = true;
     cfg.rebalanceCooldown = 0;
     C4pMaster master(sim, topo, cfg);
 
-    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0)};
+    std::vector<ConnContext> ctxs = {makeConnContext(0, 0)};
     std::vector<PathDecision> decisions = {master.decide(ctxs[0])};
     std::vector<double> weights = {1.0};
     const int original = decisions[0].spine;
@@ -224,15 +201,15 @@ TEST(C4pMaster, DynamicRebalanceRepinsDeadSpine)
 TEST(C4pMaster, DynamicRebalanceMovesSlowQp)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pConfig cfg;
     cfg.dynamicLoadBalance = true;
     cfg.rebalanceCooldown = 0;
     cfg.rebalanceRatio = 1.3;
     C4pMaster master(sim, topo, cfg);
 
-    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0),
-                                     crossSegmentCtx(0, 1)};
+    std::vector<ConnContext> ctxs = {makeConnContext(0, 0),
+                                     makeConnContext(0, 1)};
     std::vector<PathDecision> decisions = {master.decide(ctxs[0]),
                                            master.decide(ctxs[1])};
     std::vector<double> weights = {1.0, 1.0};
@@ -254,10 +231,10 @@ TEST(C4pMaster, DynamicRebalanceMovesSlowQp)
 TEST(C4pMaster, RebalanceQuietWithoutDynamicMode)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pMaster master(sim, topo); // dynamicLoadBalance = false
 
-    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0)};
+    std::vector<ConnContext> ctxs = {makeConnContext(0, 0)};
     std::vector<PathDecision> decisions = {master.decide(ctxs[0])};
     std::vector<double> weights = {1.0};
     EXPECT_FALSE(master.rebalance(ctxs, decisions, weights));
@@ -266,13 +243,13 @@ TEST(C4pMaster, RebalanceQuietWithoutDynamicMode)
 TEST(C4pMaster, CooldownThrottlesRepins)
 {
     Simulator sim;
-    net::Topology topo(testbed());
+    net::Topology topo(podConfig());
     C4pConfig cfg;
     cfg.dynamicLoadBalance = true;
     cfg.rebalanceCooldown = seconds(10);
     C4pMaster master(sim, topo, cfg);
 
-    std::vector<ConnContext> ctxs = {crossSegmentCtx(0, 0)};
+    std::vector<ConnContext> ctxs = {makeConnContext(0, 0)};
     std::vector<PathDecision> decisions = {master.decide(ctxs[0])};
     std::vector<double> weights = {1.0};
 

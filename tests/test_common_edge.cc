@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Edge-case coverage for src/common beyond test_common.cc: RFC-4180
+ * CSV quoting and empty fields, Summary percentiles on degenerate
+ * inputs, and AsciiTable alignment under ragged/rule-bearing rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace c4 {
+namespace {
+
+// ---------------------------------------------------------------- CSV
+
+TEST(CsvEdge, QuotesFieldsWithSeparatorsAndQuotes)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"a,b", "say \"hi\"", "line1\nline2", "plain"});
+    EXPECT_EQ(os.str(),
+              "\"a,b\",\"say \"\"hi\"\"\",\"line1\nline2\",plain\n");
+
+    const auto rows = parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), 4u);
+    EXPECT_EQ(rows[0][0], "a,b");
+    EXPECT_EQ(rows[0][1], "say \"hi\"");
+    EXPECT_EQ(rows[0][2], "line1\nline2");
+    EXPECT_EQ(rows[0][3], "plain");
+}
+
+TEST(CsvEdge, EmptyFieldsRoundTrip)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"", "mid", ""});
+    w.row({"", "", ""});
+    EXPECT_EQ(os.str(), ",mid,\n,,\n");
+
+    const auto rows = parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"", "mid", ""}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvEdge, ParsesCrlfAndMissingTrailingNewline)
+{
+    const auto rows = parseCsv("a,b\r\nc,d");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvEdge, QuotedFieldSpansNewlinesAndEscapedQuotes)
+{
+    const auto rows = parseCsv("\"x\ny\",\"a\"\"b\"\nnext,row\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"x\ny", "a\"b"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"next", "row"}));
+}
+
+TEST(CsvEdge, QuotedEmptyFieldIsPreserved)
+{
+    const auto rows = parseCsv("\"\",x\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"", "x"}));
+}
+
+TEST(CsvEdge, NumericCellsAndRowAccounting)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.header({"t", "v"});
+    w.cell(static_cast<std::int64_t>(-7)).cell(0.5);
+    w.endRow();
+    w.cell(static_cast<std::uint64_t>(1u << 20)).cell(1e-9);
+    w.endRow();
+    EXPECT_EQ(w.rowsWritten(), 3u); // header counts as a row
+    const auto rows = parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1][0], "-7");
+    EXPECT_EQ(rows[1][1], "0.5");
+    EXPECT_EQ(rows[2][0], "1048576");
+    EXPECT_EQ(rows[2][1], "1e-09");
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(SummaryEdge, EmptyInputAnswersZeroEverywhere)
+{
+    const Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(SummaryEdge, SingleElementIsEveryPercentile)
+{
+    Summary s;
+    s.add(42.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 42.5);
+    EXPECT_DOUBLE_EQ(s.percentile(37.3), 42.5);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 42.5);
+    EXPECT_DOUBLE_EQ(s.min(), 42.5);
+    EXPECT_DOUBLE_EQ(s.max(), 42.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0); // n-1 denominator guard
+}
+
+TEST(SummaryEdge, PercentileClampsOutOfRangeP)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-20.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(500.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 2.0); // interpolated midpoint
+}
+
+TEST(SummaryEdge, CvGuardsZeroMean)
+{
+    Summary s;
+    s.add(-1.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0); // no division by zero
+}
+
+TEST(SummaryEdge, MergeWithEmptyAndClear)
+{
+    Summary a, b;
+    a.add(1.0);
+    a.merge(b); // merging an empty summary is a no-op
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    a.clear();
+    EXPECT_TRUE(a.empty());
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+// -------------------------------------------------------------- table
+
+/** Split a rendering into lines, dropping the trailing newline. */
+std::vector<std::string>
+lines(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    for (std::string line; std::getline(is, line);)
+        out.push_back(line);
+    return out;
+}
+
+TEST(TableEdge, ColumnsAlignToWidestCell)
+{
+    AsciiTable t({"A", "LongHeader"});
+    t.addRow({"much-longer-cell", "x"});
+    t.addRow({"y", "z"});
+    const auto ls = lines(t.str());
+    // +-border, header, +-border, 2 rows, +-border.
+    ASSERT_EQ(ls.size(), 6u);
+    for (const auto &l : ls)
+        EXPECT_EQ(l.size(), ls[0].size()) << l;
+    // Every border line is identical, and '|' in rows lines up with
+    // '+' in borders.
+    EXPECT_EQ(ls[0], ls[2]);
+    EXPECT_EQ(ls[0], ls[5]);
+    for (std::size_t i = 0; i < ls[0].size(); ++i) {
+        if (ls[0][i] == '+') {
+            EXPECT_EQ(ls[1][i], '|');
+            EXPECT_EQ(ls[3][i], '|');
+        }
+    }
+}
+
+TEST(TableEdge, ShortRowsArePaddedToHeaderArity)
+{
+    AsciiTable t({"a", "b", "c"});
+    t.addRow({"only-one"});
+    const auto ls = lines(t.str());
+    ASSERT_EQ(ls.size(), 5u);
+    EXPECT_EQ(ls[3].size(), ls[0].size());
+}
+
+TEST(TableEdge, RuleRendersFullWidthSeparator)
+{
+    AsciiTable t({"h"});
+    t.addRow({"v1"});
+    t.addRule();
+    t.addRow({"total"});
+    const auto ls = lines(t.str("Title"));
+    // Title, border, header, border, row, rule, row, border.
+    ASSERT_EQ(ls.size(), 8u);
+    EXPECT_EQ(ls[0], "Title");
+    EXPECT_EQ(ls[5], ls[1]); // the rule equals the border lines
+    EXPECT_EQ(t.rowCount(), 3u);
+}
+
+TEST(TableEdge, EmptyTitleOmitsTitleLine)
+{
+    AsciiTable t({"h"});
+    t.addRow({"v"});
+    const auto ls = lines(t.str());
+    ASSERT_FALSE(ls.empty());
+    EXPECT_EQ(ls[0][0], '+');
+}
+
+} // namespace
+} // namespace c4

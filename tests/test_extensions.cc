@@ -16,6 +16,7 @@
 #include "c4d/rca.h"
 #include "core/cluster.h"
 #include "core/placement.h"
+#include "testutil/testutil.h"
 #include "train/job.h"
 #include "train/model.h"
 
@@ -27,48 +28,7 @@ using accl::CollOp;
 using accl::CollectiveResult;
 using accl::DeviceInfo;
 
-struct Harness
-{
-    Simulator sim;
-    net::Topology topo;
-    net::Fabric fabric;
-    accl::Accl lib;
-
-    explicit Harness(int nodes = 4)
-        : topo(config(nodes)), fabric(sim, topo, quiet()),
-          lib(sim, fabric)
-    {
-    }
-
-    static net::TopologyConfig
-    config(int nodes)
-    {
-        net::TopologyConfig tc;
-        tc.numNodes = nodes;
-        tc.nodesPerSegment = 1;
-        tc.numSpines = 8;
-        return tc;
-    }
-
-    static net::FabricConfig
-    quiet()
-    {
-        net::FabricConfig fc;
-        fc.congestionJitter = false;
-        return fc;
-    }
-
-    CommId
-    fullComm(int nodes)
-    {
-        std::vector<DeviceInfo> d;
-        for (NodeId n = 0; n < nodes; ++n)
-            for (int g = 0; g < 8; ++g)
-                d.push_back({n, static_cast<GpuId>(g),
-                             static_cast<NicId>(g)});
-        return lib.createCommunicator(1, std::move(d));
-    }
-};
+using Harness = testutil::AcclHarness;
 
 TEST(AllToAll, CompletesWithCorrectBookkeeping)
 {
@@ -139,19 +99,8 @@ TEST(HalvingDoubling, FallsBackToRingOffPowerOfTwo)
     EXPECT_TRUE(done);
 }
 
-struct EpHarness
+struct MoeScenario : testutil::AcclHarness
 {
-    Simulator sim;
-    net::Topology topo;
-    net::Fabric fabric;
-    accl::Accl lib;
-
-    EpHarness()
-        : topo(Harness::config(4)), fabric(sim, topo, Harness::quiet()),
-          lib(sim, fabric)
-    {
-    }
-
     train::JobConfig
     moeJob()
     {
@@ -178,7 +127,7 @@ TEST(ExpertParallel, SpecValidation)
 
 TEST(ExpertParallel, JobRunsAllToAllsPerIteration)
 {
-    EpHarness h;
+    MoeScenario h;
     train::TrainingJob job(h.sim, h.lib, h.moeJob());
     job.start();
     h.sim.run(minutes(2));
@@ -201,7 +150,7 @@ TEST(ExpertParallel, TransientImbalanceDoesNotTriggerC4d)
     // averaging collected data over a predefined period to smooth out
     // random variations". The rotating skew must not be blamed on any
     // single rank.
-    EpHarness h;
+    MoeScenario h;
     c4d::C4dConfig cfg;
     cfg.evaluatePeriod = seconds(2);
     cfg.analyzer.minWaitForSlow = milliseconds(20);
@@ -223,7 +172,7 @@ TEST(ExpertParallel, TransientImbalanceDoesNotTriggerC4d)
 
 TEST(ExpertParallel, PersistentStragglerStillDetected)
 {
-    EpHarness h;
+    MoeScenario h;
     c4d::C4dConfig cfg;
     cfg.evaluatePeriod = seconds(2);
     cfg.analyzer.minWaitForSlow = milliseconds(20);

@@ -7,56 +7,13 @@
 #include <gtest/gtest.h>
 
 #include "net/fabric.h"
+#include "testutil/testutil.h"
 
 namespace c4::net {
 namespace {
 
-TopologyConfig
-testbed()
-{
-    TopologyConfig tc;
-    tc.numNodes = 16;
-    tc.nodesPerSegment = 4;
-    tc.numSpines = 8;
-    return tc;
-}
-
-FabricConfig
-quiet()
-{
-    FabricConfig fc;
-    fc.congestionJitter = false; // deterministic rates for unit tests
-    return fc;
-}
-
-struct Harness
-{
-    Simulator sim;
-    Topology topo;
-    Fabric fabric;
-
-    explicit Harness(TopologyConfig tc = testbed(),
-                     FabricConfig fc = quiet())
-        : topo(tc), fabric(sim, topo, fc)
-    {
-    }
-
-    PathRequest
-    request(NodeId src, NodeId dst, std::uint32_t label = 1,
-            int spine = kInvalidId, int rx_plane = kInvalidId)
-    {
-        PathRequest req;
-        req.srcNode = src;
-        req.srcNic = 0;
-        req.dstNode = dst;
-        req.dstNic = 0;
-        req.txPlane = Plane::Left;
-        req.spine = spine;
-        req.rxPlane = rx_plane;
-        req.flowLabel = label;
-        return req;
-    }
-};
+using Harness = testutil::FabricHarness;
+using testutil::podConfig;
 
 TEST(Fabric, SingleFlowRunsAtPortRate)
 {
@@ -250,7 +207,7 @@ TEST(Fabric, CnpRateAppearsUnderCongestion)
     FabricConfig fc;
     fc.congestionJitter = true;
     fc.cnpRatePerOverload = 15000.0;
-    Harness h(testbed(), fc);
+    Harness h(podConfig(), fc);
     // Two flows from the same NIC pinned through one trunk: demand 2x.
     h.fabric.startFlow(h.request(0, 4, 1, 0, planeIndex(Plane::Left)),
                        gib(10), nullptr);
@@ -274,7 +231,7 @@ TEST(Fabric, JitterReducesRatesSlightly)
     FabricConfig fc;
     fc.congestionJitter = true;
     fc.jitterMax = 0.06;
-    Harness h(testbed(), fc);
+    Harness h(podConfig(), fc);
     const FlowId a = h.fabric.startFlow(
         h.request(0, 4, 1, 0, planeIndex(Plane::Left)), gib(1), nullptr);
     h.fabric.startFlow(h.request(1, 5, 2, 0, planeIndex(Plane::Left)),

@@ -20,26 +20,13 @@
 #include "c4d/downtime.h"
 #include "common/random.h"
 #include "net/fabric.h"
+#include "testutil/testutil.h"
 
 namespace c4 {
 namespace {
 
-using net::Fabric;
-using net::FabricConfig;
 using net::PathRequest;
 using net::Plane;
-using net::Topology;
-using net::TopologyConfig;
-
-TopologyConfig
-podConfig()
-{
-    TopologyConfig tc;
-    tc.numNodes = 16;
-    tc.nodesPerSegment = 4;
-    tc.numSpines = 8;
-    return tc;
-}
 
 /** Sweep over seeds: each instantiation runs a random flow pattern. */
 class FabricInvariants : public ::testing::TestWithParam<int>
@@ -48,11 +35,10 @@ class FabricInvariants : public ::testing::TestWithParam<int>
 
 TEST_P(FabricInvariants, FeasibilityAndWorkConservation)
 {
-    Simulator sim;
-    Topology topo(podConfig());
-    FabricConfig fc;
-    fc.congestionJitter = false; // exact fair share for the invariants
-    Fabric fabric(sim, topo, fc);
+    // Jitter-free fabric: exact fair share for the invariants.
+    testutil::FabricHarness h;
+    net::Fabric &fabric = h.fabric;
+    const net::Topology &topo = h.topo;
     Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
 
     // Random flow soup: 40 flows between random cross-node endpoints,
@@ -102,11 +88,8 @@ TEST_P(FabricInvariants, FeasibilityAndWorkConservation)
 
 TEST_P(FabricInvariants, ByteConservationAtCompletion)
 {
-    Simulator sim;
-    Topology topo(podConfig());
-    FabricConfig fc;
-    fc.congestionJitter = false;
-    Fabric fabric(sim, topo, fc);
+    testutil::FabricHarness h;
+    net::Fabric &fabric = h.fabric;
     Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
 
     int done = 0;
@@ -131,7 +114,7 @@ TEST_P(FabricInvariants, ByteConservationAtCompletion)
                                        transferTime(bytes, gbps(10)));
                          });
     }
-    sim.run();
+    h.sim.run();
     EXPECT_EQ(done, 12);
     EXPECT_EQ(fabric.activeFlowCount(), 0u);
 }
@@ -156,22 +139,9 @@ TEST_P(CollectiveAccounting, TransportBytesMatchAlgorithm)
     const auto [op_idx, nodes] = GetParam();
     const auto op = static_cast<accl::CollOp>(op_idx);
 
-    Simulator sim;
-    TopologyConfig tc;
-    tc.numNodes = nodes;
-    tc.nodesPerSegment = 1;
-    Topology topo(tc);
-    FabricConfig fc;
-    fc.congestionJitter = false;
-    Fabric fabric(sim, topo, fc);
-    accl::Accl lib(sim, fabric);
-
-    std::vector<accl::DeviceInfo> devices;
-    for (NodeId n = 0; n < nodes; ++n)
-        for (int g = 0; g < 8; ++g)
-            devices.push_back(
-                {n, static_cast<GpuId>(g), static_cast<NicId>(g)});
-    const CommId comm = lib.createCommunicator(1, std::move(devices));
+    testutil::AcclHarness h(nodes);
+    accl::Accl &lib = h.lib;
+    const CommId comm = h.fullComm(nodes);
 
     const Bytes payload = mib(96);
     bool done = false;
@@ -181,7 +151,7 @@ TEST_P(CollectiveAccounting, TransportBytesMatchAlgorithm)
                            done = true;
                            res = r;
                        });
-    sim.run();
+    h.sim.run();
     ASSERT_TRUE(done);
 
     // busbw can never exceed the NVLink ceiling.

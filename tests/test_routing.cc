@@ -9,31 +9,18 @@
 #include <set>
 
 #include "net/routing.h"
+#include "testutil/testutil.h"
 
 namespace c4::net {
 namespace {
 
-TopologyConfig
-testbed()
-{
-    TopologyConfig tc;
-    tc.numNodes = 16;
-    tc.nodesPerSegment = 4;
-    tc.numSpines = 8;
-    return tc;
-}
+using testutil::podConfig;
 
+/** 0 -> 4 crosses from segment 0 into segment 1. */
 PathRequest
 crossSegment(std::uint32_t label = 1)
 {
-    PathRequest req;
-    req.srcNode = 0;
-    req.srcNic = 0;
-    req.dstNode = 4; // segment 1
-    req.dstNic = 0;
-    req.txPlane = Plane::Left;
-    req.flowLabel = label;
-    return req;
+    return testutil::makePathRequest(0, 4, label);
 }
 
 TEST(EcmpHash, DeterministicAndLabelSensitive)
@@ -47,7 +34,7 @@ TEST(EcmpHash, DeterministicAndLabelSensitive)
 
 TEST(EcmpHash, SpreadsAcrossLabels)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     std::map<int, int> spine_counts;
     for (std::uint32_t label = 0; label < 512; ++label) {
@@ -63,7 +50,7 @@ TEST(EcmpHash, SpreadsAcrossLabels)
 
 TEST(PathSelector, SameSegmentSamePlaneTurnsAtLeaf)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     PathRequest req = crossSegment();
     req.dstNode = 1; // same segment as node 0
@@ -77,7 +64,7 @@ TEST(PathSelector, SameSegmentSamePlaneTurnsAtLeaf)
 
 TEST(PathSelector, CrossSegmentTransitsSpine)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     const Route r = sel.select(crossSegment());
     ASSERT_TRUE(r.valid());
@@ -91,7 +78,7 @@ TEST(PathSelector, CrossSegmentTransitsSpine)
 
 TEST(PathSelector, PinnedSpineHonored)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     for (int spine = 0; spine < 8; ++spine) {
         PathRequest req = crossSegment();
@@ -104,7 +91,7 @@ TEST(PathSelector, PinnedSpineHonored)
 
 TEST(PathSelector, PinnedRxPlaneHonored)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     PathRequest req = crossSegment();
     req.rxPlane = planeIndex(Plane::Right);
@@ -116,7 +103,7 @@ TEST(PathSelector, PinnedRxPlaneHonored)
 
 TEST(PathSelector, DeadPinnedSpineFallsBackToHash)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     PathRequest req = crossSegment();
     req.spine = 3;
@@ -129,7 +116,7 @@ TEST(PathSelector, DeadPinnedSpineFallsBackToHash)
 
 TEST(PathSelector, AvoidsDeadSpines)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     const int tx_leaf = topo.leafIndex(0, Plane::Left);
     // Kill all but spine 6 (for left-plane destinations).
@@ -148,7 +135,7 @@ TEST(PathSelector, AvoidsDeadSpines)
 
 TEST(PathSelector, UnroutableWhenAllSpinesDead)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     const int tx_leaf = topo.leafIndex(0, Plane::Left);
     for (int s = 0; s < 8; ++s)
@@ -160,7 +147,7 @@ TEST(PathSelector, UnroutableWhenAllSpinesDead)
 
 TEST(PathSelector, DeadHostUplinkIsUnroutable)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     topo.setLinkUp(topo.hostUplink(0, 0, Plane::Left), false);
     EXPECT_FALSE(sel.select(crossSegment()).valid());
@@ -168,7 +155,7 @@ TEST(PathSelector, DeadHostUplinkIsUnroutable)
 
 TEST(PathSelector, CrossPlaneSameSegmentTransitsSpine)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     PathRequest req = crossSegment();
     req.dstNode = 1; // same segment
@@ -181,7 +168,7 @@ TEST(PathSelector, CrossPlaneSameSegmentTransitsSpine)
 
 TEST(PathSelector, RxPlaneHashIsRoughlyBalanced)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     int left = 0;
     for (std::uint32_t label = 0; label < 400; ++label) {
@@ -195,7 +182,7 @@ TEST(PathSelector, RxPlaneHashIsRoughlyBalanced)
 
 TEST(PathSelector, CandidateSpinesMatchesTopology)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     PathSelector sel(topo);
     const int tx = topo.leafIndex(0, Plane::Left);
     const int rx = topo.leafIndex(2, Plane::Left);

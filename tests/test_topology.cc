@@ -8,33 +8,26 @@
 #include <set>
 
 #include "net/topology.h"
+#include "testutil/testutil.h"
 
 namespace c4::net {
 namespace {
 
-TopologyConfig
-testbed()
-{
-    TopologyConfig tc;
-    tc.numNodes = 16;
-    tc.nodesPerSegment = 4;
-    tc.numSpines = 8;
-    return tc;
-}
+using testutil::podConfig;
 
 TEST(TopologyConfig, ValidationCatchesBadConfigs)
 {
-    TopologyConfig tc = testbed();
+    TopologyConfig tc = podConfig();
     EXPECT_TRUE(tc.validate().empty());
 
     tc.numNodes = 0;
     EXPECT_FALSE(tc.validate().empty());
 
-    tc = testbed();
+    tc = podConfig();
     tc.oversubscription = 0.5;
     EXPECT_FALSE(tc.validate().empty());
 
-    tc = testbed();
+    tc = podConfig();
     tc.nicsPerNode = 3; // gpusPerNode=8 not a multiple
     EXPECT_FALSE(tc.validate().empty());
 
@@ -44,7 +37,7 @@ TEST(TopologyConfig, ValidationCatchesBadConfigs)
 
 TEST(Topology, Dimensions)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     EXPECT_EQ(topo.numNodes(), 16);
     EXPECT_EQ(topo.numGpus(), 128);
     EXPECT_EQ(topo.numSegments(), 4);
@@ -57,7 +50,7 @@ TEST(Topology, Dimensions)
 
 TEST(Topology, SegmentAndLeafIndexing)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     EXPECT_EQ(topo.segmentOf(0), 0);
     EXPECT_EQ(topo.segmentOf(3), 0);
     EXPECT_EQ(topo.segmentOf(4), 1);
@@ -74,7 +67,7 @@ TEST(Topology, SegmentAndLeafIndexing)
 
 TEST(Topology, HostLinksWireToTheRightLeaf)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     const LinkId up = topo.hostUplink(5, 3, Plane::Right);
     const Link &l = topo.link(up);
     EXPECT_EQ(l.kind, LinkKind::HostUp);
@@ -91,7 +84,7 @@ TEST(Topology, HostLinksWireToTheRightLeaf)
 
 TEST(Topology, AllLinkIdsDistinct)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     std::set<LinkId> ids;
     for (const auto &l : topo.links())
         ids.insert(l.id);
@@ -100,12 +93,12 @@ TEST(Topology, AllLinkIdsDistinct)
 
 TEST(Topology, TrunkCapacityFollowsOversubscription)
 {
-    Topology one_to_one(testbed());
+    Topology one_to_one(podConfig());
     EXPECT_DOUBLE_EQ(one_to_one.link(one_to_one.trunkUplink(0, 0))
                          .capacity,
                      gbps(200));
 
-    TopologyConfig tc = testbed();
+    TopologyConfig tc = podConfig();
     tc.oversubscription = 2.0;
     Topology two_to_one(tc);
     EXPECT_DOUBLE_EQ(two_to_one.link(two_to_one.trunkUplink(0, 0))
@@ -115,7 +108,7 @@ TEST(Topology, TrunkCapacityFollowsOversubscription)
 
 TEST(Topology, LinkUpDownAndCapacityScale)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     const LinkId t = topo.trunkUplink(2, 5);
     EXPECT_TRUE(topo.link(t).up);
     EXPECT_DOUBLE_EQ(topo.link(t).effectiveCapacity(), gbps(200));
@@ -130,7 +123,7 @@ TEST(Topology, LinkUpDownAndCapacityScale)
 
 TEST(Topology, HealthySpinesExcludesDeadTrunks)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     const int tx_leaf = topo.leafIndex(0, Plane::Left);
     const int rx_leaf = topo.leafIndex(1, Plane::Left);
 
@@ -152,7 +145,7 @@ TEST(Topology, HealthySpinesExcludesDeadTrunks)
 
 TEST(Topology, SummaryMentionsShape)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     const std::string s = topo.summary();
     EXPECT_NE(s.find("16 nodes"), std::string::npos);
     EXPECT_NE(s.find("8 spines"), std::string::npos);
@@ -160,7 +153,7 @@ TEST(Topology, SummaryMentionsShape)
 
 TEST(Topology, UnevenLastSegment)
 {
-    TopologyConfig tc = testbed();
+    TopologyConfig tc = podConfig();
     tc.numNodes = 10; // 2 full segments + one partial
     Topology topo(tc);
     EXPECT_EQ(topo.numSegments(), 3);
@@ -173,7 +166,7 @@ class TopologyPlaneParam : public ::testing::TestWithParam<int>
 
 TEST_P(TopologyPlaneParam, EveryNicHasBothPlanesWired)
 {
-    Topology topo(testbed());
+    Topology topo(podConfig());
     const Plane plane = planeFromIndex(GetParam());
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
         for (NicId k = 0; k < topo.nicsPerNode(); ++k) {

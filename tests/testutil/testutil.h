@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared test fixtures: seeded, deterministic factories for topologies,
+ * fabrics, ACCL instances, and the C4D stack. Every suite composes
+ * these instead of defining private `Harness` boilerplate.
+ */
+
+#ifndef C4_TESTS_TESTUTIL_TESTUTIL_H
+#define C4_TESTS_TESTUTIL_TESTUTIL_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "accl/accl.h"
+#include "c4d/agent.h"
+#include "c4d/master.h"
+#include "net/fabric.h"
+#include "train/job.h"
+
+namespace c4::testutil {
+
+/** @name Deterministic config factories @{ */
+
+/** The paper's testbed pod: 16 nodes, 4 per segment, 8 spines. */
+net::TopologyConfig podConfig(int numNodes = 16, int nodesPerSegment = 4,
+                              int numSpines = 8);
+
+/**
+ * Flat pod: one node per segment, so every node pair crosses the
+ * spines. This is the shape the ACCL/C4D suites stress.
+ */
+net::TopologyConfig flatConfig(int numNodes, int numSpines = 8);
+
+/** Congestion jitter disabled: exact fair-share rates for assertions. */
+net::FabricConfig quietFabricConfig();
+
+/** C4D master config tightened for short simulated test runs. */
+c4d::C4dConfig fastC4dConfig();
+
+/**
+ * A llama7b job on two nodes (tp=8, dp=2) with fast 300 ms
+ * microbatches, sized so minutes of simulated time complete many
+ * iterations.
+ */
+train::JobConfig smallJobConfig(JobId id = 1,
+                                std::vector<NodeId> nodes = {0, 1});
+
+/** @} */
+
+/** @name Request / context / device builders @{ */
+
+/**
+ * A path request departing NIC 0 on the left plane; spine/rxPlane stay
+ * unpinned unless given.
+ */
+net::PathRequest makePathRequest(NodeId src, NodeId dst,
+                                 std::uint32_t label = 1,
+                                 int spine = kInvalidId,
+                                 int rxPlane = kInvalidId);
+
+/** A cross-segment ACCL connection context for path-policy tests. */
+accl::ConnContext makeConnContext(int channel = 0, int qp = 0,
+                                  NodeId src = 0, NodeId dst = 4);
+
+/** One DeviceInfo per GPU of each listed node; NIC g serves GPU g. */
+std::vector<accl::DeviceInfo>
+fullNodeDevices(const net::Topology &topo,
+                const std::vector<NodeId> &nodes);
+
+/** @} */
+
+/**
+ * Simulator + topology + fabric. Defaults to the paper pod over a
+ * quiet (jitter-free) fabric so rate assertions are exact.
+ */
+struct FabricHarness
+{
+    Simulator sim;
+    net::Topology topo;
+    net::Fabric fabric;
+
+    explicit FabricHarness(net::TopologyConfig tc = podConfig(),
+                           net::FabricConfig fc = quietFabricConfig());
+
+    /** @see makePathRequest */
+    net::PathRequest request(NodeId src, NodeId dst,
+                             std::uint32_t label = 1,
+                             int spine = kInvalidId,
+                             int rxPlane = kInvalidId) const;
+};
+
+/** FabricHarness plus an ACCL instance and communicator helpers. */
+struct AcclHarness : FabricHarness
+{
+    accl::Accl lib;
+
+    /**
+     * `nodes` nodes in a flat pod (every pair crosses the spines).
+     * The seed default matches Accl's own, so harnessed suites see the
+     * same RNG stream as a hand-rolled `Accl(sim, fabric)`.
+     */
+    explicit AcclHarness(int nodes = 4,
+                         std::uint64_t seed = 0xACC1ACC1ull,
+                         accl::AcclConfig cfg = {});
+
+    /** Arbitrary topology/fabric shape. */
+    AcclHarness(net::TopologyConfig tc, net::FabricConfig fc,
+                accl::AcclConfig cfg = {},
+                std::uint64_t seed = 0xACC1ACC1ull);
+
+    /** All-GPU device list for the given nodes. */
+    std::vector<accl::DeviceInfo> fullNodes(std::vector<NodeId> nodes) const;
+
+    /** Communicator over every GPU of the given nodes. */
+    CommId fullComm(const std::vector<NodeId> &nodes, JobId job = 1);
+
+    /** Communicator over every GPU of nodes [0, nodes). */
+    CommId fullComm(int nodes, JobId job = 1);
+};
+
+/** AcclHarness plus a started C4D master + collection agent. */
+struct C4dHarness : AcclHarness
+{
+    c4d::C4dMaster master;
+    c4d::C4Agent agent;
+
+    explicit C4dHarness(c4d::C4dConfig cfg = fastC4dConfig(),
+                        int nodes = 4,
+                        Duration collectPeriod = seconds(1));
+
+    /** Drive `remaining` back-to-back allreduces on a comm. */
+    void pump(CommId comm, Bytes bytes, int remaining,
+              std::vector<Duration> delays = {});
+};
+
+} // namespace c4::testutil
+
+#endif // C4_TESTS_TESTUTIL_TESTUTIL_H
