@@ -1,51 +1,68 @@
 /**
  * @file
- * Ablation A3: checkpoint-interval sweep against total downtime — why
- * the paper's production fleet settled on ~10-minute checkpoints after
- * C4D shipped (Section IV-B.1). Sparse checkpoints lose work at every
- * crash; manic checkpointing pays the save cost continuously.
+ * Scenario `ablation_checkpoint` — Ablation A3: checkpoint-interval
+ * sweep against total downtime — why the paper's production fleet
+ * settled on ~10-minute checkpoints after C4D shipped (Section
+ * IV-B.1). Sparse checkpoints lose work at every crash; manic
+ * checkpointing pays the save cost continuously.
  */
 
-#include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
 #include "c4d/downtime.h"
-#include "common/table.h"
+#include "scenario/registry.h"
+
+namespace {
 
 using namespace c4;
 using namespace c4::c4d;
+using namespace c4::scenario;
 
-int
-main(int argc, char **argv)
+ScenarioSpec
+atInterval(const char *label, Duration interval)
 {
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const std::vector<std::pair<const char *, Duration>> intervals = {
-        {"8 h", hours(8)},       {"4.5 h", hours(4.5)},
-        {"1 h", hours(1)},       {"30 min", minutes(30)},
-        {"10 min", minutes(10)}, {"2 min", minutes(2)},
-        {"30 s", seconds(30)},
+    ScenarioSpec spec;
+    spec.variant = label;
+    spec.custom = [interval](TrialContext &ctx) {
+        RecoveryPolicy policy = RecoveryPolicy::december2023();
+        policy.checkpointInterval = interval;
+        DowntimeModel model(policy,
+                            fault::FaultRates::paperDecember2023(),
+                            2400, days(30), ctx.seed);
+        const DowntimeBreakdown b = model.run(ctx.pick(64, 8));
+        ctx.metric("post_checkpoint", b.postCheckpoint);
+        ctx.metric("total", b.total());
     };
-
-    AsciiTable t({"Checkpoint interval", "Post-ckpt downtime",
-                  "Total downtime", "Paper note"});
-    for (const auto &[label, interval] : intervals) {
-        RecoveryPolicy p = RecoveryPolicy::december2023();
-        p.checkpointInterval = interval;
-        DowntimeModel model(p, fault::FaultRates::paperDecember2023(),
-                            2400, days(30), 0xC4C4);
-        const DowntimeBreakdown b = model.run(opt.pick(256, 8));
-        t.addRow({label, AsciiTable::percent(b.postCheckpoint, 3),
-                  AsciiTable::percent(b.total(), 3),
-                  std::string(label) == "10 min"
-                      ? "production choice (Dec 2023)"
-                      : ""});
-    }
-    std::printf("%s\n",
-                t.str("Ablation A3: checkpoint cadence vs downtime "
-                      "(C4D-era cluster, 2400 GPUs)")
-                    .c_str());
-    std::printf("U-shape: losing work (sparse) vs paying save cost "
-                "(manic); ~10 min is near the knee.\n");
-    return 0;
+    return spec;
 }
+
+const Register reg{{
+    .name = "ablation_checkpoint",
+    .title = "Ablation A3: checkpoint cadence vs downtime (C4D-era "
+             "cluster, 2400 GPUs)",
+    .description =
+        "Total downtime fraction as the checkpoint interval sweeps "
+        "from 8 h to 30 s under the December-2023 recovery regime.",
+    .notes = "U-shape: losing work (sparse) vs paying save cost "
+             "(manic); ~10 min is near the knee — the production "
+             "choice (Dec 2023).",
+    .fullTrials = 4,
+    .smokeTrials = 1,
+    .seed = 0xC4C4,
+    .variants =
+        [](const RunOptions &) {
+            return std::vector<ScenarioSpec>{
+                atInterval("8h", hours(8)),
+                atInterval("4.5h", hours(4.5)),
+                atInterval("1h", hours(1)),
+                atInterval("30min", minutes(30)),
+                atInterval("10min", minutes(10)),
+                atInterval("2min", minutes(2)),
+                atInterval("30s", seconds(30)),
+            };
+        },
+    .summarize = {},
+}};
+
+} // namespace

@@ -1,177 +1,122 @@
 /**
  * @file
- * Ablation A2: C4D localization accuracy and latency vs fault severity.
+ * Scenario `ablation_detection` — Ablation A2: C4D localization
+ * accuracy and latency vs fault severity.
  *
- * For each degradation severity (how much NIC Rx bandwidth remains) and
- * for straggler slowdowns, a fault is injected into a running job and
- * we record whether C4D localizes the right node and how fast. The
- * paper claims detection in "tens of seconds" for clear faults; mild
- * degradations sit below the analyzer's thresholds by design (they are
- * within normal jitter).
+ * For each degradation severity (how much NIC Rx bandwidth remains)
+ * and for straggler slowdowns, a fault is injected into a running job
+ * and the metrics record whether C4D localizes the right node and how
+ * fast. The paper claims detection in "tens of seconds" for clear
+ * faults; mild degradations sit below the analyzer's thresholds by
+ * design (they are within normal jitter).
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "train/job.h"
-#include "train/model.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-struct Outcome
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+base(const RunOptions &opt, Duration minWaitForSlow)
 {
-    bool detected = false;
-    bool correct = false;
-    double latencySec = 0.0;
-};
+    ScenarioSpec spec;
+    spec.features.c4d = true;
+    spec.features.evaluatePeriod = seconds(2);
+    spec.features.minWaitForSlow = minWaitForSlow;
+    spec.features.isolateOnSlow = false; // observe without restarts
 
-Outcome
-runNicFault(const bench::Options &opt, double severity,
-            std::uint64_t seed)
-{
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4d = true;
-    cc.c4d.evaluatePeriod = seconds(2);
-    cc.c4d.analyzer.minWaitForSlow = milliseconds(20);
-    cc.steering.isolateOnSlow = false; // observe without restarts
-    cc.seed = seed;
-    Cluster cluster(cc);
-    cluster.startRuntime();
+    JobSpec job;
+    job.model = "llama7b";
+    job.microbatchCompute = milliseconds(800);
+    job.parallel = {.tp = 8, .pp = 1, .dp = 4};
+    job.initTime = seconds(5);
+    job.dpGroupsSimulated = 1;
+    spec.jobs.push_back(job);
 
-    train::JobConfig jc;
-    jc.id = 1;
-    jc.model = train::llama7b();
-    jc.model.microbatchCompute = milliseconds(800);
-    jc.parallel = {.tp = 8, .pp = 1, .dp = 4};
-    jc.initTime = seconds(5);
-    jc.dpGroupsSimulated = 1;
-    auto &job = cluster.addJob(jc);
-    job.start();
-    cluster.run(minutes(1));
-
-    const NodeId victim = job.nodes()[1];
-    for (int nic = 0; nic < 8; ++nic) {
-        fault::FaultEvent ev;
-        ev.type = fault::FaultType::SlowNicRx;
-        ev.node = victim;
-        ev.nic = nic;
-        ev.severity = severity;
-        cluster.faults().injectNow(ev);
-    }
-    const Time fault_time = cluster.sim().now();
-
-    cluster.run(opt.pick(minutes(8), minutes(2)));
-    Outcome out;
-    for (const auto &ev : cluster.c4dMaster()->eventLog()) {
-        if (ev.when < fault_time ||
-            ev.kind != c4d::C4dEventKind::CommSlow)
-            continue;
-        out.detected = true;
-        out.latencySec = toSeconds(ev.when - fault_time);
-        for (NodeId n : ev.suspectNodes)
-            out.correct |= n == victim;
-        break;
-    }
-    return out;
+    spec.metrics.jobThroughput = false;
+    spec.metrics.detection = true;
+    spec.horizon = minutes(1) + opt.pick(minutes(8), minutes(2));
+    return spec;
 }
 
-Outcome
-runStraggler(const bench::Options &opt, double compute_scale,
-             std::uint64_t seed)
+/** Degraded NIC receive path: all NICs of job node 1. */
+ScenarioSpec
+nicFault(const RunOptions &opt, double severity)
 {
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4d = true;
-    cc.c4d.evaluatePeriod = seconds(2);
-    cc.c4d.analyzer.minWaitForSlow = milliseconds(50);
-    cc.steering.isolateOnSlow = false;
-    cc.seed = seed;
-    Cluster cluster(cc);
-    cluster.startRuntime();
+    ScenarioSpec spec = base(opt, milliseconds(20));
+    char label[24];
+    std::snprintf(label, sizeof(label), "nic_rx_%.0f%%",
+                  severity * 100);
+    spec.variant = label;
 
-    train::JobConfig jc;
-    jc.id = 1;
-    jc.model = train::llama7b();
-    jc.model.microbatchCompute = milliseconds(800);
-    jc.parallel = {.tp = 8, .pp = 1, .dp = 4};
-    jc.initTime = seconds(5);
-    jc.dpGroupsSimulated = 1;
-    auto &job = cluster.addJob(jc);
-    job.start();
-    cluster.run(minutes(1));
+    FaultSpec f;
+    f.at = minutes(1); // after the job reached steady state
+    f.type = fault::FaultType::SlowNicRx;
+    f.job = 1;
+    f.jobNodeIndex = 1;
+    f.allNics = true;
+    f.severity = severity;
+    spec.faults.push_back(f);
 
-    const NodeId victim = job.nodes()[2];
-    job.setNodeComputeScale(victim, compute_scale);
-    const Time fault_time = cluster.sim().now();
-
-    cluster.run(opt.pick(minutes(8), minutes(2)));
-    Outcome out;
-    for (const auto &ev : cluster.c4dMaster()->eventLog()) {
-        if (ev.when < fault_time ||
-            ev.kind != c4d::C4dEventKind::NonCommSlow)
-            continue;
-        out.detected = true;
-        out.latencySec = toSeconds(ev.when - fault_time);
-        for (NodeId n : ev.suspectNodes)
-            out.correct |= n == victim;
-        break;
-    }
-    return out;
+    spec.metrics.detectionKind = c4d::C4dEventKind::CommSlow;
+    return spec;
 }
+
+/** Straggler: job node 2's compute slowed by `scale`. */
+ScenarioSpec
+straggler(const RunOptions &opt, double scale)
+{
+    ScenarioSpec spec = base(opt, milliseconds(50));
+    char label[24];
+    std::snprintf(label, sizeof(label), "straggler_%.2fx", scale);
+    spec.variant = label;
+
+    FaultSpec f;
+    f.at = minutes(1);
+    f.type = fault::FaultType::SlowNode;
+    f.job = 1;
+    f.jobNodeIndex = 2;
+    f.severity = 1.0 / scale; // applier slows compute by 1/severity
+    spec.faults.push_back(f);
+
+    spec.metrics.detectionKind = c4d::C4dEventKind::NonCommSlow;
+    return spec;
+}
+
+const Register reg{{
+    .name = "ablation_detection",
+    .title = "Ablation A2: C4D localization vs fault severity",
+    .description =
+        "Detection / localization / latency for NIC-Rx degradations "
+        "and compute stragglers of increasing severity.",
+    .notes = "Mild degradations (within normal jitter) are "
+             "intentionally below threshold; clear faults localize "
+             "within tens of seconds (paper Section IV-B.1).",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xDE7E,
+    .variants =
+        [](const RunOptions &opt) {
+            std::vector<ScenarioSpec> specs;
+            for (double severity :
+                 opt.pick(std::vector<double>{0.9, 0.7, 0.5, 0.3, 0.1},
+                          std::vector<double>{0.1})) {
+                specs.push_back(nicFault(opt, severity));
+            }
+            for (double scale :
+                 opt.pick(std::vector<double>{1.05, 1.2, 1.5, 2.0, 3.0},
+                          std::vector<double>{3.0})) {
+                specs.push_back(straggler(opt, scale));
+            }
+            return specs;
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    AsciiTable nic({"NIC Rx capacity left", "Detected", "Localized",
-                    "Latency (s)"});
-    const std::vector<double> severities =
-        opt.pick(std::vector<double>{0.9, 0.7, 0.5, 0.3, 0.1},
-                 std::vector<double>{0.1});
-    for (double severity : severities) {
-        const Outcome o = runNicFault(opt, severity, 0xDE7E);
-        char label[16];
-        std::snprintf(label, sizeof(label), "%.0f%%", severity * 100);
-        nic.addRow({label, o.detected ? "yes" : "no",
-                    o.correct ? "yes" : "-",
-                    o.detected ? AsciiTable::num(o.latencySec, 1)
-                               : "-"});
-    }
-    std::printf("%s\n",
-                nic.str("Ablation A2a: comm-slow localization vs NIC "
-                        "degradation severity")
-                    .c_str());
-
-    AsciiTable strag({"Straggler compute factor", "Detected",
-                      "Localized", "Latency (s)"});
-    const std::vector<double> scales =
-        opt.pick(std::vector<double>{1.05, 1.2, 1.5, 2.0, 3.0},
-                 std::vector<double>{3.0});
-    for (double scale : scales) {
-        const Outcome o = runStraggler(opt, scale, 0xDE7F);
-        char label[16];
-        std::snprintf(label, sizeof(label), "%.2fx", scale);
-        strag.addRow({label, o.detected ? "yes" : "no",
-                      o.correct ? "yes" : "-",
-                      o.detected ? AsciiTable::num(o.latencySec, 1)
-                                 : "-"});
-    }
-    std::printf("%s\n",
-                strag
-                    .str("Ablation A2b: non-comm-slow localization vs "
-                         "straggler severity")
-                    .c_str());
-    std::printf("Mild degradations (within normal jitter) are "
-                "intentionally below threshold;\nclear faults localize "
-                "within tens of seconds (paper Section IV-B.1).\n");
-    return 0;
-}

@@ -1,120 +1,75 @@
 /**
  * @file
- * Ablation A4: topology-aware placement (paper Section III-B: "utilize
- * topology-aware scheduling techniques to ensure that the two ranks
- * needing to communicate are as close as possible").
- *
- * Two 4-node DP training jobs share the testbed under stock ECMP.
- * Packed placement keeps each job's ring under one leaf pair (spine
- * traffic: none); scattered placement round-robins nodes across
- * segments, pushing every ring boundary over the spines where the jobs
- * collide with each other. C4P recovers most of the scattered loss —
- * which is the paper's point that placement alone is "effective for
- * small-scale jobs" while larger clusters need traffic engineering.
+ * Scenario `ablation_placement` — Ablation A4: topology-aware
+ * placement (paper Section III-B) vs traffic engineering. Two 4-node
+ * DP training jobs share the testbed; packed placement keeps each
+ * job's ring under one leaf pair, scattered placement round-robins
+ * nodes across segments, pushing every ring boundary over the spines
+ * where the jobs collide. C4P recovers most of the scattered loss.
  */
 
-#include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/placement.h"
-#include "train/job.h"
-#include "train/model.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-struct Result
-{
-    double samplesPerSec = 0.0;
-    int segments = 0;
-};
+using namespace c4;
+using namespace c4::scenario;
 
-Result
-run(const bench::Options &opt, PlacementStrategy strategy, bool c4p,
-    std::uint64_t seed)
+ScenarioSpec
+workload(const RunOptions &opt, core::PlacementStrategy strategy,
+         bool c4p)
 {
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4p = c4p;
-    cc.seed = seed;
-    Cluster cluster(cc);
+    ScenarioSpec spec;
+    spec.variant =
+        std::string(strategy == core::PlacementStrategy::Packed
+                        ? "packed"
+                        : "scattered") +
+        (c4p ? "_c4p" : "_ecmp");
+    spec.features.c4p = c4p;
 
-    Result result;
-    std::vector<train::TrainingJob *> jobs;
     for (JobId id = 1; id <= 2; ++id) {
-        train::JobConfig jc;
-        jc.id = id;
-        jc.model = train::llama13b();
-        jc.parallel = {.tp = 8, .pp = 1, .dp = 4};
-        jc.microBatch = 4;
-        jc.initTime = seconds(1);
-        jc.dpGroupsSimulated = 2;
-        jc.nodes = cluster.allocateNodes(4, strategy);
-        result.segments =
-            segmentsSpanned(cluster.topology(), jc.nodes);
-        jobs.push_back(&cluster.addJob(jc));
+        JobSpec job;
+        job.id = id;
+        job.model = "llama13b";
+        job.parallel = {.tp = 8, .pp = 1, .dp = 4};
+        job.microBatch = 4;
+        job.placement = strategy;
+        spec.jobs.push_back(job);
     }
-    for (auto *j : jobs)
-        j->start();
-    cluster.run(opt.pick(minutes(10), seconds(40)));
-    for (auto *j : jobs)
-        result.samplesPerSec += j->meanSamplesPerSec();
-    return result;
+    spec.metrics.jobSegments = true;
+    spec.horizon = opt.pick(minutes(10), seconds(40));
+    return spec;
 }
+
+const Register reg{{
+    .name = "ablation_placement",
+    .title = "Ablation A4: topology-aware placement vs traffic "
+             "engineering (2 DP jobs)",
+    .description =
+        "Two 4-node DP jobs under packed vs scattered placement, "
+        "with and without C4P.",
+    .notes =
+        "Placement alone cannot remove the dual-port RX collisions "
+        "(they are leaf-local); it bounds spine exposure. C4P "
+        "dominates either placement — topology-aware scheduling is "
+        "necessary but not sufficient (Section III-B).",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xA41,
+    .variants =
+        [](const RunOptions &opt) {
+            using core::PlacementStrategy;
+            return std::vector<ScenarioSpec>{
+                workload(opt, PlacementStrategy::Packed, false),
+                workload(opt, PlacementStrategy::Scattered, false),
+                workload(opt, PlacementStrategy::Scattered, true),
+                workload(opt, PlacementStrategy::Packed, true),
+            };
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const Result packed =
-        run(opt, PlacementStrategy::Packed, false, 0xA41);
-    const Result packed_c4p =
-        run(opt, PlacementStrategy::Packed, true, 0xA41);
-    const Result scattered =
-        run(opt, PlacementStrategy::Scattered, false, 0xA41);
-    const Result scattered_c4p =
-        run(opt, PlacementStrategy::Scattered, true, 0xA41);
-
-    AsciiTable t({"Placement", "Segments/job", "Total samples/s",
-                  "vs packed"});
-    t.addRow({"packed (topology-aware)",
-              AsciiTable::integer(packed.segments),
-              AsciiTable::num(packed.samplesPerSec, 1), "-"});
-    t.addRow({"scattered, ECMP",
-              AsciiTable::integer(scattered.segments),
-              AsciiTable::num(scattered.samplesPerSec, 1),
-              AsciiTable::percent(
-                  scattered.samplesPerSec / packed.samplesPerSec - 1.0,
-                  1)});
-    t.addRow({"scattered, C4P",
-              AsciiTable::integer(scattered_c4p.segments),
-              AsciiTable::num(scattered_c4p.samplesPerSec, 1),
-              AsciiTable::percent(scattered_c4p.samplesPerSec /
-                                          packed.samplesPerSec -
-                                      1.0,
-                                  1)});
-    t.addRow({"packed, C4P",
-              AsciiTable::integer(packed_c4p.segments),
-              AsciiTable::num(packed_c4p.samplesPerSec, 1),
-              AsciiTable::percent(packed_c4p.samplesPerSec /
-                                          packed.samplesPerSec -
-                                      1.0,
-                                  1)});
-    std::printf("%s\n",
-                t.str("Ablation A4: topology-aware placement vs "
-                      "traffic engineering (2 DP jobs)")
-                    .c_str());
-    std::printf("Placement alone cannot remove the dual-port RX "
-                "collisions (they are leaf-local);\nit bounds spine "
-                "exposure. C4P dominates either placement — the paper's "
-                "point that\ntopology-aware scheduling is necessary "
-                "but not sufficient (Section III-B).\n");
-    return 0;
-}

@@ -1,109 +1,68 @@
 /**
  * @file
- * Ablation A1: which of C4P's allocation rules buys what?
- *
- * The Fig. 10a workload (8 concurrent cross-leaf allreduce jobs, 1:1)
- * is run under four policies:
- *   1. baseline ECMP (no rules),
- *   2. dual-port balance only (rx plane pinned, spines hashed),
- *   3. spine balance only (least-loaded spines, rx plane hashed),
- *   4. full C4P (both rules).
- *
- * DESIGN.md Section 4 calls this out: the dual-port rule removes the
+ * Scenario `ablation_rules` — Ablation A1: which of C4P's allocation
+ * rules buys what? The Fig. 10a workload (8 concurrent cross-leaf
+ * allreduce jobs, 1:1) runs under baseline ECMP, packet spraying,
+ * each C4P rule alone, and full C4P. The dual-port rule removes the
  * 2x RX-port collapse; the spine rule removes trunk collisions; only
  * together do they reach the NVLink ceiling consistently.
  */
 
-#include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "accl/path_policy.h"
-#include "bench_util.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/experiment.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-Summary
-runPolicy(const bench::Options &opt, bool dual_port, bool spines,
-          bool enable_c4p, std::uint64_t seed, bool spray = false)
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+policy(const RunOptions &opt, const char *label, bool c4p, bool dual,
+       bool spine, bool spray)
 {
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4p = enable_c4p;
-    cc.c4p.balanceDualPort = dual_port;
-    cc.c4p.balanceSpines = spines;
-    cc.seed = seed;
-    Cluster cluster(cc);
-    accl::SprayPathPolicy spray_policy(seed);
-    if (spray)
-        cluster.accl().setPathPolicy(&spray_policy);
+    ScenarioSpec spec;
+    spec.variant = label;
+    spec.features.c4p = c4p;
+    spec.features.dualPortRule = dual;
+    spec.features.spineRule = spine;
+    spec.features.sprayPaths = spray;
 
-    const auto placements = crossSegmentPairs(cluster.topology(), 8);
-    std::vector<std::unique_ptr<AllreduceTask>> tasks;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-        AllreduceTaskConfig tc;
-        tc.job = static_cast<JobId>(i + 1);
-        tc.nodes = placements[i];
-        tc.bytes = mib(256);
-        tc.iterations = opt.pick(30, 4);
-        tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
-    }
-    for (auto &t : tasks)
-        t->start();
-    cluster.run();
-
-    Summary out;
-    for (auto &t : tasks)
-        out.add(t->busBwGbps().mean());
-    return out;
+    AllreduceGroupSpec g;
+    g.tasks = 8;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.bytes = mib(256);
+    g.iterations = opt.pick(30, 4);
+    spec.allreduces.push_back(g);
+    spec.metrics.perTask = false;
+    return spec;
 }
+
+const Register reg{{
+    .name = "ablation_rules",
+    .title = "Ablation A1: C4P allocation rules (Fig. 10a workload)",
+    .description =
+        "Baseline ECMP, packet spraying, dual-port rule only, "
+        "spine-balance rule only, and full C4P on the Fig. 10a "
+        "8-tenant workload.",
+    .notes = "Full C4P (both rules) should dominate; each rule alone "
+             "removes only one collision class (DESIGN Section 4).",
+    .fullTrials = 6,
+    .smokeTrials = 1,
+    .seed = 0xAB1A,
+    .variants =
+        [](const RunOptions &opt) {
+            return std::vector<ScenarioSpec>{
+                policy(opt, "ecmp", false, false, false, false),
+                policy(opt, "spray", false, false, false, true),
+                policy(opt, "dual_port_only", true, true, false,
+                       false),
+                policy(opt, "spine_only", true, false, true, false),
+                policy(opt, "full_c4p", true, true, true, false),
+            };
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    struct Config
-    {
-        const char *name;
-        bool c4p, dual, spine, spray;
-    };
-    const std::vector<Config> configs = {
-        {"baseline (ECMP)", false, false, false, false},
-        {"packet spraying", false, false, false, true},
-        {"dual-port rule only", true, true, false, false},
-        {"spine-balance rule only", true, false, true, false},
-        {"full C4P (both rules)", true, true, true, false},
-    };
-
-    const int kTrials = opt.pick(6, 1);
-    AsciiTable t({"Policy", "Mean busbw (Gbps)", "Min task", "Max task"});
-    for (const auto &cfg : configs) {
-        Summary mean, mn, mx;
-        for (int trial = 0; trial < kTrials; ++trial) {
-            const Summary s = runPolicy(opt, cfg.dual, cfg.spine,
-                                        cfg.c4p, 0xAB1A + 977u * trial,
-                                        cfg.spray);
-            mean.add(s.mean());
-            mn.add(s.min());
-            mx.add(s.max());
-        }
-        t.addRow({cfg.name, AsciiTable::num(mean.mean()),
-                  AsciiTable::num(mn.mean()), AsciiTable::num(mx.mean())});
-    }
-    char title[96];
-    std::snprintf(title, sizeof(title),
-                  "Ablation A1: C4P allocation rules "
-                  "(Fig. 10a workload, mean of %d trials)",
-                  kTrials);
-    std::printf("%s\n", t.str(title).c_str());
-    return 0;
-}

@@ -1,105 +1,90 @@
 /**
  * @file
- * Reproduces Fig. 10: eight concurrent 2-server allreduce jobs placed
- * across distinct leaf groups, baseline ECMP vs C4P global traffic
- * engineering, in (a) a 1:1 and (b) a 2:1 oversubscribed fat-tree.
- *
- * Paper shape:
- *   (a) baseline 171.93-263.27 Gbps; C4P 353.86-360.57 (+70.3%)
- *   (b) baseline spread; C4P within 11.27 Gbps, +65.55%
+ * Scenario `fig10_multijob` — Fig. 10: eight concurrent 2-server
+ * allreduce jobs placed across distinct leaf groups, baseline ECMP vs
+ * C4P global traffic engineering, in (a) a 1:1 and (b) a 2:1
+ * oversubscribed fat-tree.
  */
 
 #include <cstdio>
-#include <memory>
+#include <map>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/experiment.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-std::vector<double>
-runTasks(const bench::Options &opt, double oversub, bool c4p,
-         std::uint64_t seed)
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+workload(const RunOptions &opt, double oversub, bool c4p)
 {
-    ClusterConfig cc;
-    cc.topology = paperTestbed(oversub);
-    cc.enableC4p = c4p;
-    cc.seed = seed;
-    Cluster cluster(cc);
+    ScenarioSpec spec;
+    spec.variant = std::string(oversub > 1.0 ? "2to1_" : "1to1_") +
+                   (c4p ? "c4p" : "ecmp");
+    spec.topology.oversubscription = oversub;
+    spec.features.c4p = c4p;
 
-    const auto placements = crossSegmentPairs(cluster.topology(), 8);
-    std::vector<std::unique_ptr<AllreduceTask>> tasks;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-        AllreduceTaskConfig tc;
-        tc.job = static_cast<JobId>(i + 1);
-        tc.nodes = placements[i];
-        tc.bytes = mib(256);
-        tc.iterations = opt.pick(40, 4);
-        tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
-    }
-    for (auto &t : tasks)
-        t->start();
-    cluster.run();
-
-    std::vector<double> means;
-    for (auto &t : tasks)
-        means.push_back(t->busBwGbps().mean());
-    return means;
+    AllreduceGroupSpec g;
+    g.tasks = 8;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.bytes = mib(256);
+    g.iterations = opt.pick(40, 4);
+    spec.allreduces.push_back(g);
+    return spec;
 }
 
-void
-runOne(const bench::Options &opt, double oversub, const char *title,
-       const char *paper_base, const char *paper_c4p)
-{
-    const auto base = runTasks(opt, oversub, false, 0xF16A01);
-    const auto c4p = runTasks(opt, oversub, true, 0xF16A01);
-
-    AsciiTable t({"Task", "Baseline (Gbps)", "C4P-GTE (Gbps)"});
-    double base_total = 0, c4p_total = 0;
-    double base_min = 1e18, base_max = 0, c4p_min = 1e18, c4p_max = 0;
-    for (std::size_t i = 0; i < base.size(); ++i) {
-        char name[32];
-        std::snprintf(name, sizeof(name), "Task%zu", i + 1);
-        t.addRow({name, AsciiTable::num(base[i]),
-                  AsciiTable::num(c4p[i])});
-        base_total += base[i];
-        c4p_total += c4p[i];
-        base_min = std::min(base_min, base[i]);
-        base_max = std::max(base_max, base[i]);
-        c4p_min = std::min(c4p_min, c4p[i]);
-        c4p_max = std::max(c4p_max, c4p[i]);
-    }
-    t.addRule();
-    t.addRow({"mean", AsciiTable::num(base_total / 8.0),
-              AsciiTable::num(c4p_total / 8.0)});
-    std::printf("%s\n", t.str(title).c_str());
-    std::printf("  baseline range: %.2f - %.2f Gbps (paper: %s)\n",
-                base_min, base_max, paper_base);
-    std::printf("  C4P range     : %.2f - %.2f Gbps, spread %.2f "
-                "(paper: %s)\n",
-                c4p_min, c4p_max, c4p_max - c4p_min, paper_c4p);
-    std::printf("  throughput improvement: %.1f%%\n\n",
-                (c4p_total / base_total - 1.0) * 100.0);
-}
+const Register reg{{
+    .name = "fig10_multijob",
+    .title = "Fig. 10: 8 concurrent allreduce jobs, ECMP vs C4P "
+             "global TE",
+    .description =
+        "Eight 2-server cross-leaf allreduce tenants at 1:1 and 2:1 "
+        "oversubscription, baseline ECMP vs C4P path allocation.",
+    .notes =
+        "Paper shape: (a) 1:1 baseline 171.93-263.27 Gbps, C4P "
+        "353.86-360.57 (+70.3%); (b) 2:1 C4P spread 11.27 Gbps "
+        "(+65.55%).",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xF16A01,
+    .variants =
+        [](const RunOptions &opt) {
+            return std::vector<ScenarioSpec>{
+                workload(opt, 1.0, false),
+                workload(opt, 1.0, true),
+                workload(opt, 2.0, false),
+                workload(opt, 2.0, true),
+            };
+        },
+    .summarize =
+        [](const std::vector<TrialResult> &results) {
+            // Mean busbw per variant -> improvement per oversub level.
+            const auto means =
+                variantMetricMeans(results, "busbw_mean");
+            auto mean = [&](const std::string &v) {
+                auto it = means.find(v);
+                return it == means.end() ? 0.0 : it->second;
+            };
+            std::string out;
+            for (const char *level : {"1to1", "2to1"}) {
+                const double base =
+                    mean(std::string(level) + "_ecmp");
+                const double c4p = mean(std::string(level) + "_c4p");
+                if (base <= 0.0)
+                    continue;
+                char buf[96];
+                std::snprintf(buf, sizeof(buf),
+                              "%s improvement: %+.1f%%\n", level,
+                              (c4p / base - 1.0) * 100.0);
+                out += buf;
+            }
+            if (!out.empty())
+                out.pop_back();
+            return out;
+        },
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    runOne(opt, 1.0,
-           "Fig. 10a: 8 concurrent allreduce jobs, 1:1 oversubscription",
-           "171.93 - 263.27", "353.86 - 360.57 (+70.3%)");
-    runOne(opt, 2.0,
-           "Fig. 10b: 8 concurrent allreduce jobs, 2:1 oversubscription",
-           "(degraded, wide spread)", "spread 11.27 Gbps (+65.55%)");
-    return 0;
-}

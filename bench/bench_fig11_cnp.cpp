@@ -1,86 +1,55 @@
 /**
  * @file
- * Reproduces Fig. 11: the CNP (Congestion Notification Packet) rate
- * received per bonded NIC port while the Fig. 10b workload (8 jobs, 2:1
- * oversubscription, C4P enabled) runs. Paper shape: ~15 kp/s per port,
- * fluctuating between 12.5 and 17.5 kp/s.
+ * Scenario `fig11_cnp` — Fig. 11: the CNP (Congestion Notification
+ * Packet) rate received per bonded NIC port while the Fig. 10b
+ * workload (8 jobs, 2:1 oversubscription, C4P enabled) runs. The ring
+ * boundary senders are NIC 7; every node's NIC 7 is sampled once a
+ * second.
  */
 
-#include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/experiment.h"
+#include "scenario/registry.h"
+
+namespace {
 
 using namespace c4;
-using namespace c4::core;
+using namespace c4::scenario;
 
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    ClusterConfig cc;
-    cc.topology = paperTestbed(2.0); // congested 2:1 network
-    cc.enableC4p = true;
-    Cluster cluster(cc);
+const Register reg{{
+    .name = "fig11_cnp",
+    .title = "Fig. 11: CNP count per bonded port, 2:1 "
+             "oversubscription (C4P on)",
+    .description =
+        "Per-port CNP rate under the Fig. 10b workload; the paper "
+        "band is 12.5-17.5 kp/s around ~15 kp/s.",
+    .notes = "Paper shape: ~15 kp/s per port, fluctuating between "
+             "12.5 and 17.5 kp/s.",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xC4C10C4D,
+    .variants =
+        [](const RunOptions &opt) {
+            ScenarioSpec spec;
+            spec.variant = "2to1_c4p";
+            spec.topology.oversubscription = 2.0; // congested network
+            spec.features.c4p = true;
 
-    const auto placements = crossSegmentPairs(cluster.topology(), 8);
-    std::vector<std::unique_ptr<AllreduceTask>> tasks;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-        AllreduceTaskConfig tc;
-        tc.job = static_cast<JobId>(i + 1);
-        tc.nodes = placements[i];
-        tc.bytes = mib(256);
-        tc.iterations = opt.pick(1200, 30);
-        tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
-    }
-    for (auto &t : tasks)
-        t->start();
+            AllreduceGroupSpec g;
+            g.tasks = 8;
+            g.placement =
+                AllreduceGroupSpec::Placement::CrossSegmentPairs;
+            g.bytes = mib(256);
+            g.iterations = opt.pick(1200, 30);
+            spec.allreduces.push_back(g);
 
-    // Sample each active sender NIC's CNP rate once a second. The ring
-    // boundary NICs are nic 7 (Tx side); sample every node's nic 7.
-    Summary per_port;
-    std::vector<Summary> series; // one bucket per 10 s for the table
-    PeriodicTask sampler(cluster.sim(), seconds(1), [&] {
-        for (NodeId n = 0; n < cluster.topology().numNodes(); ++n) {
-            const double kps =
-                cluster.fabric().nicCnpRate(n, 7) / 1000.0;
-            if (kps <= 0.0)
-                continue;
-            per_port.add(kps);
-            const auto bucket = static_cast<std::size_t>(
-                toSeconds(cluster.sim().now()) / 10.0);
-            if (series.size() <= bucket)
-                series.resize(bucket + 1);
-            series[bucket].add(kps);
-        }
-    });
-    sampler.start();
-    cluster.run(opt.pick(seconds(120), seconds(10)));
-    sampler.stop();
+            spec.metrics.perTask = false;
+            spec.metrics.cnpSamplePeriod = seconds(1);
+            spec.metrics.cnpNic = 7;
+            spec.horizon = opt.pick(seconds(120), seconds(10));
+            return std::vector<ScenarioSpec>{spec};
+        },
+    .summarize = {},
+}};
 
-    AsciiTable t({"t (s)", "mean (kp/s)", "min", "max"});
-    for (std::size_t b = 0; b < series.size(); ++b) {
-        if (series[b].empty())
-            continue;
-        char when[16];
-        std::snprintf(when, sizeof(when), "%zu-%zu", b * 10,
-                      b * 10 + 10);
-        t.addRow({when, AsciiTable::num(series[b].mean(), 1),
-                  AsciiTable::num(series[b].min(), 1),
-                  AsciiTable::num(series[b].max(), 1)});
-    }
-    std::printf("%s\n",
-                t.str("Fig. 11: CNP count per bonded port, 2:1 "
-                      "oversubscription (C4P on)")
-                    .c_str());
-    std::printf("overall: mean %.1f kp/s, p5 %.1f, p95 %.1f "
-                "(paper: ~15 kp/s, fluctuating 12.5-17.5)\n",
-                per_port.mean(), per_port.percentile(5),
-                per_port.percentile(95));
-    return 0;
-}
+} // namespace

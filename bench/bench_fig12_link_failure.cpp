@@ -1,132 +1,101 @@
 /**
  * @file
- * Reproduces Fig. 12: instantaneous allreduce bus bandwidth of 8
- * concurrent tasks when a leaf-spine uplink fails mid-run, comparing
- * (a) C4P static traffic engineering (paths planned once; failures fall
- *     back to ECMP rehash) against
- * (b) C4P dynamic load balance (message-completion-time feedback
- *     re-pins QPs onto the least-loaded healthy paths).
- *
- * Paper shape: static TE degrades to ~185 Gbps average; dynamic load
- * balance recovers to ~301 Gbps, near the 7/8-capacity ideal of 315.
+ * Scenario `fig12_link_failure` — Fig. 12: instantaneous allreduce bus
+ * bandwidth of 8 concurrent tasks when a leaf-spine uplink fails
+ * mid-run, comparing C4P static traffic engineering (failures fall
+ * back to ECMP rehash) against C4P dynamic load balance
+ * (message-completion-time feedback re-pins QPs onto the least-loaded
+ * healthy paths).
  */
 
 #include <cstdio>
-#include <memory>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/experiment.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-struct RunResult
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+workload(const RunOptions &opt, bool dynamicLb)
 {
-    Summary before; ///< busbw samples before the failure
-    Summary after;  ///< busbw samples after the failure
-    std::vector<double> taskAfterMean;
-};
+    ScenarioSpec spec;
+    spec.variant = dynamicLb ? "dynamic_lb" : "static_te";
+    // Same 16-node testbed, but grouped as 2 segments of 8 so each
+    // leaf carries 8 concurrent uplink flows on its 8 trunks — the
+    // fully-loaded regime the paper's failure experiment probes. The
+    // NVLink ceiling is lifted above the bonded-NIC rate so network
+    // capacity binds (post-failure ideal = 7/8 of capacity).
+    spec.topology.nodesPerSegment = 8;
+    spec.topology.nvlinkBusBandwidth = gbps(450);
+    spec.features.c4p = true;
+    spec.features.dynamicLoadBalance = dynamicLb;
+    spec.features.qpsPerConnection = 2; // chunk split C4P re-weights
 
-RunResult
-run(const bench::Options &opt, bool dynamic_lb, std::uint64_t seed)
-{
-    ClusterConfig cc;
-    // Same 16-node testbed, but grouped as 2 segments of 8 so that
-    // each leaf carries 8 concurrent uplink flows on its 8 trunks —
-    // the fully-loaded regime the paper's failure experiment probes.
-    cc.topology = paperTestbed();
-    cc.topology.nodesPerSegment = 8;
-    // In this experiment the paper's fabric is the binding resource
-    // (post-failure ideal = 7/8 of capacity). Lift the NVLink ceiling
-    // above the bonded-NIC rate so network capacity binds here too.
-    cc.topology.nvlinkBusBandwidth = gbps(450);
-    cc.enableC4p = true;
-    cc.c4p.dynamicLoadBalance = dynamic_lb;
-    cc.accl.qpsPerConnection = 2; // chunk split C4P can re-weight
-    cc.seed = seed;
-    Cluster cluster(cc);
-
-    const auto placements = crossSegmentPairs(cluster.topology(), 8);
-    const Time fail_at = seconds(8);
-
-    RunResult result;
-    std::vector<Summary> after_per_task(8);
-    std::vector<std::unique_ptr<AllreduceTask>> tasks;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-        AllreduceTaskConfig tc;
-        tc.job = static_cast<JobId>(i + 1);
-        tc.nodes = placements[i];
-        tc.bytes = mib(256);
-        tc.iterations = opt.pick(1500, 100);
-        auto task = std::make_unique<AllreduceTask>(cluster, tc);
-        task->onIteration([&, i, fail_at](int, double bw) {
-            if (cluster.sim().now() < fail_at)
-                result.before.add(bw);
-            else {
-                result.after.add(bw);
-                after_per_task[i].add(bw);
-            }
-        });
-        tasks.push_back(std::move(task));
-    }
-    for (auto &t : tasks)
-        t->start();
+    AllreduceGroupSpec g;
+    g.tasks = 8;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.bytes = mib(256);
+    g.iterations = opt.pick(1500, 100);
+    spec.allreduces.push_back(g);
 
     // Fail one of the 8 uplinks of segment 0's left leaf mid-run (a
     // cable failure kills both directions).
-    cluster.sim().scheduleAt(fail_at, [&cluster] {
-        const int leaf =
-            cluster.topology().leafIndex(0, net::Plane::Left);
-        cluster.fabric().setLinkUp(
-            cluster.topology().trunkUplink(leaf, 0), false);
-        cluster.fabric().setLinkUp(
-            cluster.topology().trunkDownlink(0, leaf), false);
-    });
+    LinkEventSpec fail;
+    fail.at = seconds(8);
+    fail.segment = 0;
+    fail.plane = net::Plane::Left;
+    fail.spine = 0;
+    fail.up = false;
+    spec.linkEvents.push_back(fail);
 
-    cluster.run(opt.pick(seconds(40), seconds(12)));
-    for (auto &s : after_per_task)
-        result.taskAfterMean.push_back(s.empty() ? 0.0 : s.mean());
-    return result;
+    spec.metrics.splitAt = fail.at;
+    spec.horizon = opt.pick(seconds(40), seconds(12));
+    return spec;
 }
+
+const Register reg{{
+    .name = "fig12_link_failure",
+    .title = "Fig. 12: allreduce busbw around a mid-run uplink "
+             "failure",
+    .description =
+        "8 concurrent allreduce tasks; one leaf-spine trunk fails at "
+        "t=8s. C4P static TE vs dynamic load balance.",
+    .notes = "Paper shape: static TE degrades to ~185 Gbps average; "
+             "dynamic LB recovers to ~301, near the 7/8-capacity "
+             "ideal of 315.",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xF16B01,
+    .variants =
+        [](const RunOptions &opt) {
+            return std::vector<ScenarioSpec>{workload(opt, false),
+                                             workload(opt, true)};
+        },
+    .summarize =
+        [](const std::vector<TrialResult> &results) {
+            const auto after =
+                variantMetricMeans(results, "busbw_after");
+            auto mean = [&](const char *v) {
+                auto it = after.find(v);
+                return it == after.end() ? 0.0 : it->second;
+            };
+            const double stat = mean("static_te");
+            const double dyn = mean("dynamic_lb");
+            if (stat <= 0.0)
+                return std::string();
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "dynamic-vs-static gain after failure: "
+                          "%+.1f%% (paper: +62.3%%)",
+                          (dyn / stat - 1.0) * 100.0);
+            return std::string(buf);
+        },
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const RunResult stat = run(opt, false, 0xF16B01);
-    const RunResult dyn = run(opt, true, 0xF16B01);
-
-    AsciiTable t({"Task", "Static TE, after failure (Gbps)",
-                  "Dynamic LB, after failure (Gbps)"});
-    for (std::size_t i = 0; i < stat.taskAfterMean.size(); ++i) {
-        char name[32];
-        std::snprintf(name, sizeof(name), "task%zu", i + 1);
-        t.addRow({name, AsciiTable::num(stat.taskAfterMean[i]),
-                  AsciiTable::num(dyn.taskAfterMean[i])});
-    }
-    std::printf("%s\n",
-                t.str("Fig. 12: allreduce busbw around a mid-run "
-                      "uplink failure")
-                    .c_str());
-
-    std::printf("before failure: static %.2f, dynamic %.2f Gbps "
-                "(both fully planned)\n",
-                stat.before.mean(), dyn.before.mean());
-    std::printf("after failure : static %.2f Gbps (paper: 185.76), "
-                "dynamic %.2f Gbps (paper: 301.46)\n",
-                stat.after.mean(), dyn.after.mean());
-    std::printf("dynamic-vs-static gain: %.1f%% (paper: +62.3%%)\n",
-                (dyn.after.mean() / stat.after.mean() - 1.0) * 100.0);
-    std::printf("post-failure ideal (one of 8 uplinks lost): ~%.0f "
-                "Gbps (paper: 315)\n",
-                400.0 * 7.0 / 8.0);
-    return 0;
-}

@@ -1,131 +1,75 @@
 /**
  * @file
- * Reproduces Fig. 13: per-switch-port (leaf uplink trunk) bandwidth
- * around the Fig. 12 link failure, with and without C4P dynamic load
- * balance.
- *
- * Paper shape: before the failure all uplinks run near-optimal. After
- * it, without dynamic LB only the ports that inherited the rerouted
- * flows rise (ECMP rehash concentrates them) while others lose traffic;
- * with dynamic LB the load spreads back across the healthy uplinks.
+ * Scenario `fig13_port_bandwidth` — Fig. 13: per-switch-port (leaf
+ * uplink trunk) bandwidth around the Fig. 12 link failure, with and
+ * without C4P dynamic load balance. Without dynamic LB only the ports
+ * that inherited the rerouted flows rise (ECMP rehash concentrates
+ * them); with it the load spreads back across the healthy uplinks.
  */
 
-#include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/experiment.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-struct PortSeries
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+workload(const RunOptions &opt, bool dynamicLb)
 {
-    // [spine] -> mean Gbps before / after failure on the watched leaf.
-    std::vector<Summary> before, after;
-    double cvAfter = 0.0; ///< imbalance across surviving uplinks
-};
+    ScenarioSpec spec;
+    spec.variant = dynamicLb ? "dynamic_lb" : "static_te";
+    // Fully-loaded leaves in the network-bound regime, as in Fig. 12.
+    spec.topology.nodesPerSegment = 8;
+    spec.topology.nvlinkBusBandwidth = gbps(450);
+    spec.features.c4p = true;
+    spec.features.dynamicLoadBalance = dynamicLb;
+    spec.features.qpsPerConnection = 2;
 
-PortSeries
-run(const bench::Options &opt, bool dynamic_lb)
-{
-    ClusterConfig cc;
-    // Fully-loaded leaves, as in the Fig. 12 run (see that bench).
-    cc.topology = paperTestbed();
-    cc.topology.nodesPerSegment = 8;
-    cc.topology.nvlinkBusBandwidth = gbps(450); // network-bound regime
-    cc.enableC4p = true;
-    cc.c4p.dynamicLoadBalance = dynamic_lb;
-    cc.accl.qpsPerConnection = 2;
-    Cluster cluster(cc);
+    AllreduceGroupSpec g;
+    g.tasks = 8;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.bytes = mib(256);
+    g.iterations = opt.pick(2600, 100);
+    spec.allreduces.push_back(g);
 
-    const auto placements = crossSegmentPairs(cluster.topology(), 8);
-    std::vector<std::unique_ptr<AllreduceTask>> tasks;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-        AllreduceTaskConfig tc;
-        tc.job = static_cast<JobId>(i + 1);
-        tc.nodes = placements[i];
-        tc.bytes = mib(256);
-        tc.iterations = opt.pick(2600, 100);
-        tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
-    }
-    for (auto &t : tasks)
-        t->start();
+    LinkEventSpec fail;
+    fail.at = seconds(8);
+    fail.segment = 0;
+    fail.plane = net::Plane::Left;
+    fail.spine = 0;
+    fail.up = false;
+    spec.linkEvents.push_back(fail);
 
-    const int leaf = cluster.topology().leafIndex(0, net::Plane::Left);
-    const Time fail_at = seconds(8);
-    cluster.sim().scheduleAt(fail_at, [&cluster, leaf] {
-        cluster.fabric().setLinkUp(
-            cluster.topology().trunkUplink(leaf, 0), false);
-        cluster.fabric().setLinkUp(
-            cluster.topology().trunkDownlink(0, leaf), false);
-    });
-
-    PortSeries series;
-    series.before.resize(8);
-    series.after.resize(8);
-    PeriodicTask sampler(cluster.sim(), milliseconds(500), [&] {
-        for (int s = 0; s < 8; ++s) {
-            const double gbps = toGbps(cluster.fabric().linkThroughput(
-                cluster.topology().trunkUplink(leaf, s)));
-            if (cluster.sim().now() < fail_at)
-                series.before[static_cast<std::size_t>(s)].add(gbps);
-            else
-                series.after[static_cast<std::size_t>(s)].add(gbps);
-        }
-    });
-    sampler.start();
-    cluster.run(opt.pick(seconds(30), seconds(12)));
-    sampler.stop();
-
-    Summary surviving;
-    for (int s = 1; s < 8; ++s)
-        surviving.add(series.after[static_cast<std::size_t>(s)].mean());
-    series.cvAfter = surviving.cv();
-    return series;
+    spec.metrics.taskBusBw = false; // the uplinks are the story here
+    spec.metrics.splitAt = fail.at;
+    spec.metrics.uplinkSamplePeriod = milliseconds(500);
+    spec.metrics.uplinkSegment = 0;
+    spec.metrics.uplinkPlane = net::Plane::Left;
+    spec.horizon = opt.pick(seconds(30), seconds(12));
+    return spec;
 }
 
-void
-print(const char *title, const PortSeries &s)
-{
-    AsciiTable t({"Uplink", "Before failure (Gbps)",
-                  "After failure (Gbps)"});
-    for (int spine = 0; spine < 8; ++spine) {
-        char name[24];
-        std::snprintf(name, sizeof(name), "leaf0->spine%d%s", spine,
-                      spine == 0 ? " (failed)" : "");
-        t.addRow({name,
-                  AsciiTable::num(
-                      s.before[static_cast<std::size_t>(spine)].mean()),
-                  AsciiTable::num(
-                      s.after[static_cast<std::size_t>(spine)].mean())});
-    }
-    std::printf("%s\n", t.str(title).c_str());
-    std::printf("  imbalance across surviving uplinks (cv): %.3f\n\n",
-                s.cvAfter);
-}
+const Register reg{{
+    .name = "fig13_port_bandwidth",
+    .title = "Fig. 13: leaf uplink bandwidth around a trunk failure",
+    .description =
+        "Per-uplink throughput on the failed leaf before/after the "
+        "Fig. 12 trunk failure; uplink0 is the failed trunk.",
+    .notes = "Paper shape: static TE concentrates rerouted flows on a "
+             "few ports (higher surviving-uplink cv); dynamic LB "
+             "spreads them across the survivors.",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xF16B01,
+    .variants =
+        [](const RunOptions &opt) {
+            return std::vector<ScenarioSpec>{workload(opt, false),
+                                             workload(opt, true)};
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const PortSeries stat = run(opt, false);
-    const PortSeries dyn = run(opt, true);
-    print("Fig. 13a: leaf uplink bandwidth, C4P static traffic "
-          "engineering",
-          stat);
-    print("Fig. 13b: leaf uplink bandwidth, C4P dynamic load balance",
-          dyn);
-    std::printf("Paper shape: static TE concentrates rerouted flows on "
-                "a few ports\n(higher imbalance); dynamic LB spreads "
-                "them across the survivors.\n");
-    return 0;
-}

@@ -1,136 +1,107 @@
 /**
  * @file
- * Reproduces Fig. 14: throughput of three representative production
- * training jobs with and without C4P.
+ * Scenario `fig14_real_jobs` — Fig. 14: throughput of three
+ * representative production training jobs with and without C4P.
  *
- *   Job1: GPT-22B,  Megatron, TP=8,  DP=16          (paper: +15.95%)
- *   Job2: Llama-7B, DeepSpeed ZeRO, DP only         (paper: +14.1%)
- *   Job3: GPT-175B, Megatron, TP=8, PP=8, GA=16     (paper: ~0%)
+ *   job1: GPT-22B,  Megatron, TP=8,  DP=16          (paper: +15.95%)
+ *   job2: Llama-7B, DeepSpeed ZeRO, DP only         (paper: +14.1%)
+ *   job3: GPT-175B, Megatron, TP=8, PP=8, GA=16     (paper: ~0%)
  *
  * Job3's gradient-accumulation factor of 16 shrinks the communication
  * share of each iteration, which is exactly why C4P cannot help it —
  * the crossover the paper calls out.
  */
 
-#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "train/job.h"
-#include "train/model.h"
-
-using namespace c4;
-using namespace c4::core;
-using namespace c4::train;
+#include "scenario/registry.h"
 
 namespace {
 
-JobConfig
+using namespace c4;
+using namespace c4::scenario;
+
+JobSpec
 job1()
 {
-    JobConfig jc;
-    jc.id = 1;
-    jc.name = "Job1 GPT-22B TP8/DP16";
-    jc.model = gpt22b();
-    jc.parallel = {.tp = 8, .pp = 1, .dp = 16};
-    jc.parallel.gradientAccumulation = 2; // calibrates comm share ~30%
-    jc.microBatch = 4;
-    jc.initTime = seconds(1);
-    jc.dpGroupsSimulated = 2;
-    return jc;
+    JobSpec js;
+    js.id = 1;
+    js.name = "Job1 GPT-22B TP8/DP16";
+    js.model = "gpt22b";
+    js.parallel = {.tp = 8, .pp = 1, .dp = 16};
+    js.parallel.gradientAccumulation = 2; // calibrates comm share ~30%
+    js.microBatch = 4;
+    return js;
 }
 
-JobConfig
+JobSpec
 job2()
 {
-    JobConfig jc;
-    jc.id = 2;
-    jc.name = "Job2 Llama-7B ZeRO/DP32";
-    jc.model = llama7b();
-    jc.parallel = {.tp = 1, .pp = 1, .dp = 32};
-    jc.parallel.zeroStage = 1;
-    jc.parallel.gradientAccumulation = 2; // calibrates comm share ~30%
-    jc.microBatch = 10;
-    jc.initTime = seconds(1);
-    jc.dpGroupsSimulated = 2;
-    return jc;
+    JobSpec js;
+    js.id = 1;
+    js.name = "Job2 Llama-7B ZeRO/DP32";
+    js.model = "llama7b";
+    js.parallel = {.tp = 1, .pp = 1, .dp = 32};
+    js.parallel.zeroStage = 1;
+    js.parallel.gradientAccumulation = 2; // calibrates comm share ~30%
+    js.microBatch = 10;
+    return js;
 }
 
-JobConfig
+JobSpec
 job3()
 {
-    JobConfig jc;
-    jc.id = 3;
-    jc.name = "Job3 GPT-175B TP8/PP8/GA16";
-    jc.model = gpt175b();
-    jc.parallel = {.tp = 8, .pp = 8, .dp = 2};
-    jc.parallel.gradientAccumulation = 16;
-    jc.microBatch = 4;
-    jc.initTime = seconds(1);
-    jc.dpGroupsSimulated = 2;
-    return jc;
+    JobSpec js;
+    js.id = 1;
+    js.name = "Job3 GPT-175B TP8/PP8/GA16";
+    js.model = "gpt175b";
+    js.parallel = {.tp = 8, .pp = 8, .dp = 2};
+    js.parallel.gradientAccumulation = 16;
+    js.microBatch = 4;
+    return js;
 }
 
-struct Measured
+ScenarioSpec
+workload(const RunOptions &opt, const char *label, const JobSpec &job,
+         bool c4p)
 {
-    double samplesPerSec = 0.0;
-    double commShare = 0.0;
-};
-
-Measured
-run(const bench::Options &opt, const JobConfig &base, bool c4p)
-{
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4p = c4p;
-    Cluster cluster(cc);
-
-    JobConfig jc = base;
-    auto &job = cluster.addJob(jc);
-
-    double comm = 0.0, total = 0.0;
-    job.onIteration([&](const IterationStats &st) {
-        comm += toSeconds(st.commDuration);
-        total += toSeconds(st.end - st.start);
-    });
-    job.start();
-    cluster.run(opt.pick(minutes(30), seconds(40)));
-
-    Measured m;
-    m.samplesPerSec = job.meanSamplesPerSec();
-    m.commShare = total > 0.0 ? comm / total : 0.0;
-    return m;
+    ScenarioSpec spec;
+    spec.variant = std::string(label) + (c4p ? "_c4p" : "_ecmp");
+    spec.features.c4p = c4p;
+    spec.jobs.push_back(job);
+    spec.metrics.jobCommShare = true;
+    spec.horizon = opt.pick(minutes(30), seconds(40));
+    return spec;
 }
+
+const Register reg{{
+    .name = "fig14_real_jobs",
+    .title = "Fig. 14: real-job throughput, baseline vs C4P",
+    .description =
+        "Three representative production jobs (GPT-22B, Llama-7B "
+        "ZeRO, GPT-175B GA=16), baseline ECMP vs C4P.",
+    .notes =
+        "Paper: job1 +15.95%, job2 +14.1%, job3 ~0%. Jobs 1-2 spend "
+        ">30% of each iteration communicating; job3's GA=16 amortizes "
+        "the DP allreduce over 16x compute, so traffic engineering "
+        "cannot help it.",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 0xC4C10C4D,
+    .variants =
+        [](const RunOptions &opt) {
+            std::vector<ScenarioSpec> specs;
+            const std::vector<std::pair<const char *, JobSpec>> jobs =
+                {{"job1", job1()}, {"job2", job2()}, {"job3", job3()}};
+            for (const auto &[label, job] : jobs) {
+                specs.push_back(workload(opt, label, job, false));
+                specs.push_back(workload(opt, label, job, true));
+            }
+            return specs;
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const std::vector<JobConfig> jobs = {job1(), job2(), job3()};
-    const std::vector<const char *> paper = {"+15.95% (74.82 -> 86.76)",
-                                             "+14.1% (156.59 -> 178.65)",
-                                             "~0%"};
-
-    AsciiTable t({"Job", "Baseline (samples/s)", "C4P (samples/s)",
-                  "Gain", "Comm share", "Paper"});
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const Measured base = run(opt, jobs[i], false);
-        const Measured c4p = run(opt, jobs[i], true);
-        t.addRow({jobs[i].name, AsciiTable::num(base.samplesPerSec),
-                  AsciiTable::num(c4p.samplesPerSec),
-                  AsciiTable::percent(
-                      c4p.samplesPerSec / base.samplesPerSec - 1.0, 1),
-                  AsciiTable::percent(base.commShare, 0), paper[i]});
-    }
-    std::printf("%s\n",
-                t.str("Fig. 14: real-job throughput, baseline vs C4P")
-                    .c_str());
-    std::printf("Jobs 1-2 spend >30%% of each iteration communicating; "
-                "Job3's GA=16 amortizes\nthe DP allreduce over 16x "
-                "compute, so traffic engineering cannot help it.\n");
-    return 0;
-}

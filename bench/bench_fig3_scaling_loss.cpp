@@ -1,92 +1,95 @@
 /**
  * @file
- * Reproduces Fig. 3: actual vs ideal training throughput of a GPT-22B
- * model as the job scales from 16 to 512 GPUs. The gap is caused by
- * traffic collisions, whose extent grows with scale (more ring
- * boundaries, more ECMP draws that can land badly).
+ * Scenario `fig3_scaling_loss` — Fig. 3: actual vs ideal training
+ * throughput of a GPT-22B model as the job scales from 16 to 512 GPUs.
+ * The gap is caused by traffic collisions, whose extent grows with
+ * scale (more ring boundaries, more ECMP draws that can land badly).
  *
  * "Ideal" is linear scaling of the smallest configuration's per-GPU
- * throughput, as in the paper. Paper shape: actual falls to ~70% of
- * ideal at 512 GPUs.
+ * throughput on a collision-free (C4P) network, as in the paper.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "train/job.h"
-#include "train/model.h"
-
-using namespace c4;
-using namespace c4::core;
-using namespace c4::train;
+#include "scenario/registry.h"
 
 namespace {
 
-double
-runScale(const bench::Options &opt, int num_nodes, std::uint64_t seed,
-         bool clean_network = false)
-{
-    ClusterConfig cc;
-    cc.topology = productionPod(std::max(4, num_nodes));
-    cc.enableC4p = clean_network; // "ideal" = collision-free paths
-    cc.seed = seed;
-    Cluster cluster(cc);
+using namespace c4;
+using namespace c4::scenario;
 
-    JobConfig jc;
-    jc.id = 1;
-    jc.model = gpt22b();
-    jc.parallel = {.tp = 8, .pp = 1, .dp = num_nodes};
-    jc.microBatch = 4;
-    jc.initTime = seconds(1);
-    jc.dpGroupsSimulated = 2;
-    auto &job = cluster.addJob(jc);
-    job.start();
-    cluster.run(opt.pick(minutes(num_nodes >= 32 ? 3 : 8),
-                         seconds(40)));
-    return job.meanSamplesPerSec();
+ScenarioSpec
+atScale(const RunOptions &opt, int nodes, bool cleanNetwork)
+{
+    ScenarioSpec spec;
+    spec.variant = cleanNetwork ? "ideal_base_n2"
+                                : "n" + std::to_string(nodes);
+    spec.topology.kind = TopologySpec::Kind::Pod;
+    spec.topology.numNodes = std::max(4, nodes);
+    spec.features.c4p = cleanNetwork; // "ideal" = collision-free paths
+
+    JobSpec job;
+    job.model = "gpt22b";
+    job.parallel = {.tp = 8, .pp = 1, .dp = nodes};
+    job.microBatch = 4;
+    spec.jobs.push_back(job);
+
+    spec.horizon =
+        opt.pick(minutes(nodes >= 32 ? 3 : 8), seconds(40));
+    return spec;
 }
+
+const Register reg{{
+    .name = "fig3_scaling_loss",
+    .title = "Fig. 3: GPT-22B throughput vs ideal linear scaling "
+             "(ECMP baseline)",
+    .description =
+        "Actual vs ideal throughput of a GPT-22B job scaling from 16 "
+        "to 512 GPUs; the collision-induced gap widens with scale.",
+    .notes = "Paper shape: the actual/ideal gap widens with scale, "
+             "reaching ~70% at 512 GPUs.",
+    .fullTrials = 2,
+    .smokeTrials = 1,
+    .seed = 0x516F,
+    .variants =
+        [](const RunOptions &opt) {
+            std::vector<ScenarioSpec> specs;
+            specs.push_back(atScale(opt, 2, /*cleanNetwork=*/true));
+            const std::vector<int> nodeCounts = opt.pick(
+                std::vector<int>{2, 4, 8, 16, 32, 64},
+                std::vector<int>{2, 4});
+            for (int nodes : nodeCounts)
+                specs.push_back(
+                    atScale(opt, nodes, /*cleanNetwork=*/false));
+            return specs;
+        },
+    .summarize =
+        [](const std::vector<TrialResult> &results) {
+            const auto means =
+                variantMetricMeans(results, "samples_per_sec");
+            const auto base = means.find("ideal_base_n2");
+            if (base == means.end() || base->second <= 0.0)
+                return std::string();
+            const double perNode = base->second / 2.0;
+            std::string out = "actual/ideal:";
+            for (const auto &[variant, mean] : means) {
+                if (variant == "ideal_base_n2")
+                    continue;
+                const int nodes = std::atoi(variant.c_str() + 1);
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), " %dGPU %.0f%%",
+                              nodes * 8,
+                              100.0 * mean / (perNode * nodes));
+                out += buf;
+            }
+            return out;
+        },
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const std::vector<int> node_counts = opt.pick(
-        std::vector<int>{2, 4, 8, 16, 32, 64}, std::vector<int>{2, 4});
-    const int kTrials = opt.pick(2, 1);
-
-    // Per-GPU ideal: linear scaling of the smallest configuration on a
-    // collision-free network.
-    double base_thr = 0.0;
-    for (int trial = 0; trial < kTrials; ++trial)
-        base_thr += runScale(opt, 2, 0x516F + 131u * trial,
-                             /*clean_network=*/true);
-    base_thr /= kTrials;
-    const double ideal_per_node = base_thr / 2.0;
-
-    AsciiTable t({"GPUs", "Actual (samples/s)", "Ideal (samples/s)",
-                  "Actual/Ideal"});
-    for (int nodes : node_counts) {
-        double actual = 0.0;
-        for (int trial = 0; trial < kTrials; ++trial)
-            actual += runScale(opt, nodes, 0x516F + 131u * trial);
-        actual /= kTrials;
-        const double ideal = ideal_per_node * nodes;
-        char gpus[16];
-        std::snprintf(gpus, sizeof(gpus), "%d", nodes * 8);
-        t.addRow({gpus, AsciiTable::num(actual, 1),
-                  AsciiTable::num(ideal, 1),
-                  AsciiTable::percent(actual / ideal, 1)});
-    }
-    std::printf("%s\n",
-                t.str("Fig. 3: GPT-22B throughput vs ideal linear "
-                      "scaling (ECMP baseline)")
-                    .c_str());
-    std::printf("Paper shape: the actual/ideal gap widens with scale, "
-                "reaching ~70%% at 512 GPUs.\n");
-    return 0;
-}

@@ -1,94 +1,63 @@
 /**
  * @file
- * Reproduces Fig. 9: allreduce bus bandwidth with and without C4P's
- * dual-port traffic balance, sweeping 16 -> 128 GPUs (2 -> 16 nodes).
- *
- * Paper shape: baseline busbw "lower than 240 Gbps in most test cases";
- * C4P close to the 362 Gbps NVLink ceiling (~50% gain). Several trials
- * (seeds) per scale average over the stochastic ECMP port draws.
+ * Scenario `fig9_dualport` — Fig. 9: allreduce bus bandwidth with and
+ * without C4P's dual-port traffic balance, sweeping 16 -> 128 GPUs
+ * (2 -> 16 nodes). Several trials (seeds) per scale average over the
+ * stochastic ECMP port draws.
  */
 
-#include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "core/cluster.h"
-#include "core/experiment.h"
-
-using namespace c4;
-using namespace c4::core;
+#include "scenario/registry.h"
 
 namespace {
 
-/** Cross-segment node pick: node i of segment (i mod 4). */
-std::vector<NodeId>
-spreadNodes(const net::Topology &topo, int count)
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+atScale(const RunOptions &opt, int nodes, bool c4p)
 {
-    std::vector<NodeId> nodes;
-    const int per_segment = topo.config().nodesPerSegment;
-    for (int i = 0; i < count; ++i) {
-        const int seg = i % topo.numSegments();
-        const int slot = i / topo.numSegments();
-        nodes.push_back(static_cast<NodeId>(seg * per_segment + slot));
-    }
-    return nodes;
+    ScenarioSpec spec;
+    spec.variant = (c4p ? "c4p_n" : "ecmp_n") + std::to_string(nodes);
+    spec.features.c4p = c4p;
+
+    AllreduceGroupSpec g;
+    g.tasks = 1;
+    g.placement = AllreduceGroupSpec::Placement::SpreadAcrossSegments;
+    g.nodesPerTask = nodes;
+    g.bytes = mib(256);
+    g.iterations = opt.pick(25, 3);
+    spec.allreduces.push_back(g);
+    return spec;
 }
 
-double
-runTrial(const bench::Options &opt, int num_nodes, bool c4p,
-         std::uint64_t seed)
-{
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4p = c4p;
-    cc.seed = seed;
-    Cluster cluster(cc);
-
-    AllreduceTaskConfig tc;
-    tc.nodes = spreadNodes(cluster.topology(), num_nodes);
-    tc.bytes = mib(256);
-    tc.iterations = opt.pick(25, 3);
-    AllreduceTask task(cluster, tc);
-    task.start();
-    cluster.run();
-    return task.busBwGbps().mean();
-}
+const Register reg{{
+    .name = "fig9_dualport",
+    .title = "Fig. 9: allreduce busbw, dual-port balance (ring, "
+             "256 MiB)",
+    .description =
+        "Allreduce bus bandwidth, baseline ECMP vs C4P dual-port "
+        "balance, 2-16 nodes spread across the testbed segments.",
+    .notes = "Paper shape: baseline < 240 Gbps in most cases; C4P "
+             "close to the 362 Gbps NVLink ceiling (~50% gain).",
+    .fullTrials = 8,
+    .smokeTrials = 1,
+    .seed = 0xF19000,
+    .variants =
+        [](const RunOptions &opt) {
+            std::vector<ScenarioSpec> specs;
+            const std::vector<int> nodeCounts =
+                opt.pick(std::vector<int>{2, 4, 8, 16},
+                         std::vector<int>{2, 4});
+            for (int nodes : nodeCounts) {
+                specs.push_back(atScale(opt, nodes, false));
+                specs.push_back(atScale(opt, nodes, true));
+            }
+            return specs;
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    const int kTrials = opt.pick(8, 1);
-    const std::vector<int> node_counts =
-        opt.pick(std::vector<int>{2, 4, 8, 16}, std::vector<int>{2, 4});
-
-    AsciiTable t({"GPUs", "Baseline (Gbps)", "C4P (Gbps)", "Gain",
-                  "Paper baseline", "Paper C4P"});
-    for (int nodes : node_counts) {
-        Summary base, c4p;
-        for (int trial = 0; trial < kTrials; ++trial) {
-            const auto seed = 0xF19000ull + 7919u * trial;
-            base.add(runTrial(opt, nodes, false, seed));
-            c4p.add(runTrial(opt, nodes, true, seed));
-        }
-        char gpus[16];
-        std::snprintf(gpus, sizeof(gpus), "%d", nodes * 8);
-        t.addRow({gpus, AsciiTable::num(base.mean()),
-                  AsciiTable::num(c4p.mean()),
-                  AsciiTable::percent(c4p.mean() / base.mean() - 1.0, 1),
-                  "< 240", "~360"});
-    }
-    char title[96];
-    std::snprintf(title, sizeof(title),
-                  "Fig. 9: allreduce busbw, dual-port balance "
-                  "(ring, 256 MiB, mean of %d trials)",
-                  kTrials);
-    std::printf("%s\n", t.str(title).c_str());
-    std::printf("NVLink busbw ceiling: 362 Gbps (paper Section IV-B)\n");
-    return 0;
-}

@@ -1,43 +1,64 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the simulator's hot kernels:
- * event-queue throughput, max-min fair re-allocation, delay-matrix
- * analysis, and end-to-end allreduce simulation cost. These bound how
- * large an experiment the harness can sweep.
+ * Scenario `micro_core` — microbenchmarks for the simulator's hot
+ * kernels: event-queue throughput, max-min fair re-allocation,
+ * delay-matrix analysis, and end-to-end allreduce simulation cost.
+ * These bound how large an experiment the harness can sweep.
+ *
+ * Unlike every other scenario, the metrics are wall-clock timings
+ * (items/s), so they are inherently machine- and run-dependent — the
+ * one scenario whose CSV is not expected to be reproducible.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <vector>
 
 #include "accl/accl.h"
 #include "c4d/analyzer.h"
 #include "core/cluster.h"
 #include "net/fabric.h"
-
-using namespace c4;
+#include "scenario/registry.h"
 
 namespace {
 
+using namespace c4;
+using namespace c4::scenario;
+
+using Clock = std::chrono::steady_clock;
+
+/** Time `reps` invocations of `fn(rep)`; emits ms/op and items/s. */
+template <typename Fn>
 void
-BM_EventQueue(benchmark::State &state)
+timeKernel(TrialContext &ctx, int reps, double itemsPerRep, Fn fn)
 {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    for (auto _ : state) {
-        Simulator sim;
-        for (std::size_t i = 0; i < n; ++i)
-            sim.scheduleAt(static_cast<Time>(i * 7 % 1000), [] {});
-        sim.run();
-        benchmark::DoNotOptimize(sim.executedCount());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(n));
+    const auto start = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        fn(r);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    ctx.metric("ms_per_op", secs * 1e3 / reps);
+    ctx.metric("items_per_sec",
+               secs > 0.0 ? itemsPerRep * reps / secs : 0.0);
 }
-BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void
-BM_FabricReallocation(benchmark::State &state)
+eventQueue(TrialContext &ctx)
 {
-    const int flows = static_cast<int>(state.range(0));
+    const std::size_t n = 100000;
+    timeKernel(ctx, ctx.pick(10, 1), static_cast<double>(n),
+               [n](int) {
+                   Simulator sim;
+                   for (std::size_t i = 0; i < n; ++i)
+                       sim.scheduleAt(
+                           static_cast<Time>(i * 7 % 1000), [] {});
+                   sim.run();
+               });
+}
+
+void
+fabricReallocation(TrialContext &ctx)
+{
+    const int flows = 256;
     net::TopologyConfig tc;
     tc.numNodes = 64;
     tc.nodesPerSegment = 4;
@@ -58,24 +79,22 @@ BM_FabricReallocation(benchmark::State &state)
         fabric.startFlow(req, gib(100), nullptr);
     }
     // Force one consistent allocation first.
-    benchmark::DoNotOptimize(fabric.flowRate(1));
+    (void)fabric.flowRate(1);
 
-    for (auto _ : state) {
-        // Toggling a link forces rerouting + full re-allocation.
-        fabric.setLinkUp(topo.trunkUplink(0, 0), false);
-        benchmark::DoNotOptimize(fabric.linkThroughput(0));
-        fabric.setLinkUp(topo.trunkUplink(0, 0), true);
-        benchmark::DoNotOptimize(fabric.linkThroughput(0));
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 2 * flows);
+    // Toggling a link forces rerouting + full re-allocation.
+    timeKernel(ctx, ctx.pick(200, 10), 2.0 * flows,
+               [&fabric, &topo](int) {
+                   fabric.setLinkUp(topo.trunkUplink(0, 0), false);
+                   (void)fabric.linkThroughput(0);
+                   fabric.setLinkUp(topo.trunkUplink(0, 0), true);
+                   (void)fabric.linkThroughput(0);
+               });
 }
-BENCHMARK(BM_FabricReallocation)->Arg(64)->Arg(256)->Arg(1024);
 
 void
-BM_DelayMatrixAnalysis(benchmark::State &state)
+delayMatrix(TrialContext &ctx)
 {
-    const int n = static_cast<int>(state.range(0));
+    const int n = 64;
     std::vector<accl::ConnRecord> records;
     for (int rep = 0; rep < 8; ++rep) {
         for (Rank s = 0; s < n; ++s) {
@@ -88,22 +107,21 @@ BM_DelayMatrixAnalysis(benchmark::State &state)
             records.push_back(r);
         }
     }
-    for (auto _ : state) {
-        const auto matrix = c4d::DelayMatrix::build(n, records);
-        const auto finding = c4d::analyzeCommSlow(matrix);
-        benchmark::DoNotOptimize(finding.kind);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(records.size()));
+    timeKernel(ctx, ctx.pick(500, 20),
+               static_cast<double>(records.size()),
+               [n, &records](int) {
+                   const auto matrix =
+                       c4d::DelayMatrix::build(n, records);
+                   const auto finding = c4d::analyzeCommSlow(matrix);
+                   (void)finding;
+               });
 }
-BENCHMARK(BM_DelayMatrixAnalysis)->Arg(16)->Arg(64)->Arg(256);
 
 void
-BM_AllreduceSimulation(benchmark::State &state)
+allreduceSimulation(TrialContext &ctx)
 {
-    const int nodes = static_cast<int>(state.range(0));
-    for (auto _ : state) {
+    const int nodes = 16;
+    timeKernel(ctx, ctx.pick(4, 1), 10.0, [nodes](int) {
         core::ClusterConfig cc;
         cc.topology = core::productionPod(nodes);
         cc.enableC4p = true;
@@ -122,13 +140,38 @@ BM_AllreduceSimulation(benchmark::State &state)
                 [&](const accl::CollectiveResult &) { ++done; });
         }
         cluster.run();
-        benchmark::DoNotOptimize(done);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 10);
+        (void)done;
+    });
 }
-BENCHMARK(BM_AllreduceSimulation)->Arg(4)->Arg(16)->Arg(64);
+
+const Register reg{{
+    .name = "micro_core",
+    .title = "Microbenchmarks: simulator hot kernels (wall clock)",
+    .description =
+        "Event-queue throughput, fabric re-allocation, delay-matrix "
+        "analysis, and end-to-end allreduce simulation cost.",
+    .notes = "Wall-clock timings; machine-dependent by nature.",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .serialTrials = true, // wall-clock timings: no concurrent trials
+    .seed = 0xC4C10C4D,
+    .variants =
+        [](const RunOptions &) {
+            auto make = [](const char *label,
+                           void (*fn)(TrialContext &)) {
+                ScenarioSpec spec;
+                spec.variant = label;
+                spec.custom = fn;
+                return spec;
+            };
+            return std::vector<ScenarioSpec>{
+                make("event_queue_100k", eventQueue),
+                make("fabric_realloc_256f", fabricReallocation),
+                make("delay_matrix_64r", delayMatrix),
+                make("allreduce_sim_16n", allreduceSimulation),
+            };
+        },
+    .summarize = {},
+}};
 
 } // namespace
-
-BENCHMARK_MAIN();

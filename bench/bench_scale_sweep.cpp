@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario `scale_sweep` — a topology-scale sweep the old per-driver
+ * structure made awkward: the same 8-tenant cross-segment allreduce
+ * workload runs on the paper testbed and on production pods of
+ * increasing size (32 -> 128 nodes), with and without C4P, showing
+ * that the traffic-engineering win survives (and grows with) scale.
+ */
+
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+
+namespace {
+
+using namespace c4;
+using namespace c4::scenario;
+
+ScenarioSpec
+atScale(const RunOptions &opt, const char *label, int podNodes,
+        bool c4p)
+{
+    ScenarioSpec spec;
+    spec.variant = std::string(label) + (c4p ? "_c4p" : "_ecmp");
+    if (podNodes > 0) {
+        spec.topology.kind = TopologySpec::Kind::Pod;
+        spec.topology.numNodes = podNodes;
+    }
+    spec.features.c4p = c4p;
+
+    AllreduceGroupSpec g;
+    g.tasks = 8;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.bytes = mib(256);
+    g.iterations = opt.pick(20, 3);
+    spec.allreduces.push_back(g);
+    spec.metrics.perTask = false;
+    return spec;
+}
+
+const Register reg{{
+    .name = "scale_sweep",
+    .title = "Scale sweep: 8-tenant allreduce, testbed -> multi-pod "
+             "fat-tree",
+    .description =
+        "The Fig. 10a tenant workload on the 16-node testbed and on "
+        "32/64/128-node pods, ECMP vs C4P, to check the TE win "
+        "survives scale.",
+    .notes = "New workload (not a paper figure): busbw_min is the "
+             "interesting row — ECMP's worst tenant collapses as the "
+             "pod grows while C4P stays near the NVLink ceiling.",
+    .fullTrials = 3,
+    .smokeTrials = 1,
+    .seed = 0x5CA1E,
+    .variants =
+        [](const RunOptions &opt) {
+            std::vector<ScenarioSpec> specs;
+            struct Scale
+            {
+                const char *label;
+                int podNodes; ///< 0 = paper testbed
+            };
+            const std::vector<Scale> scales = opt.pick(
+                std::vector<Scale>{{"testbed16", 0},
+                                   {"pod32", 32},
+                                   {"pod64", 64},
+                                   {"pod128", 128}},
+                std::vector<Scale>{{"testbed16", 0}, {"pod32", 32}});
+            for (const Scale &s : scales) {
+                specs.push_back(
+                    atScale(opt, s.label, s.podNodes, false));
+                specs.push_back(
+                    atScale(opt, s.label, s.podNodes, true));
+            }
+            return specs;
+        },
+    .summarize = {},
+}};
+
+} // namespace

@@ -1,127 +1,124 @@
 /**
  * @file
- * Reproduces Table I: the distribution of crash causes recorded over one
- * month for a representative 4096-GPU job.
+ * Scenario `table1_crash_causes` — Table I: the distribution of crash
+ * causes recorded over one month for a representative 4096-GPU job.
  *
  * A Poisson fault campaign runs against a 512-node population at the
  * paper's calibrated June-2023 rates; each crash is classified by what
  * the *user* sees (almost always "NCCL Error") and whether the root
- * cause was confined to a node/device. Paper reference values:
- *
- *   NCCL Error / CUDA Error        12.5%  (100% local)
- *   NCCL Error / ECC-NVLink Error  27.5%  (100% local)
- *   NCCL Error / NCCL timeout      20.0%  ( 75% local)
- *   NCCL Error / ACK timeout       27.5%  (81.8% local)
- *   Network Error / Others         12.5%  ( 40% local)
+ * cause was confined to a node/device. This scenario needs no cluster
+ * — only the sampled event stream — so it installs a custom executor.
  */
 
-#include <cstdio>
-#include <map>
+#include <iterator>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
-#include "common/table.h"
-#include "common/types.h"
 #include "fault/injector.h"
+#include "scenario/registry.h"
 #include "sim/simulator.h"
-
-using namespace c4;
-using namespace c4::fault;
 
 namespace {
 
-/** Table I groups fault categories by their user-visible label. */
-std::string
-rootCauseLabel(FaultType t)
-{
-    switch (t) {
-      case FaultType::CudaError:    return "CUDA Error";
-      case FaultType::EccError:
-      case FaultType::NvlinkError:  return "ECC/NVLink Error";
-      case FaultType::NcclTimeout:  return "NCCL timeout";
-      case FaultType::AckTimeout:   return "ACK timeout";
-      case FaultType::NetworkOther: return "Others";
-      default:                      return "(non-crash)";
-    }
-}
+using namespace c4;
+using namespace c4::fault;
+using namespace c4::scenario;
 
-} // namespace
-
-int
-main(int argc, char **argv)
+struct Group
 {
-    const bench::Options opt = bench::parseArgs(argc, argv);
+    const char *metric; ///< metric-name stem
+    const char *paper;  ///< paper proportion / locality
+    bool (*matches)(FaultType);
+};
+
+const Group kGroups[] = {
+    {"cuda", "12.5% / 100%",
+     [](FaultType t) { return t == FaultType::CudaError; }},
+    {"ecc_nvlink", "27.5% / 100%",
+     [](FaultType t) {
+         return t == FaultType::EccError ||
+                t == FaultType::NvlinkError;
+     }},
+    {"nccl_timeout", "20% / 75%",
+     [](FaultType t) { return t == FaultType::NcclTimeout; }},
+    {"ack_timeout", "27.5% / 81.8%",
+     [](FaultType t) { return t == FaultType::AckTimeout; }},
+    {"network_other", "12.5% / 40%",
+     [](FaultType t) { return t == FaultType::NetworkOther; }},
+};
+
+void
+runTrial(TrialContext &ctx)
+{
     constexpr int kNodes = 512; // 4096 GPUs
     // Aggregate several months for stability (one in smoke mode).
-    const int kMonths = opt.pick(12, 1);
+    const int months = ctx.pick(12, 1);
 
     Simulator sim;
-    FaultInjector injector(sim, /*seed=*/20240406);
+    FaultInjector injector(sim, ctx.seed);
 
     std::vector<NodeId> nodes;
     for (NodeId n = 0; n < kNodes; ++n)
         nodes.push_back(n);
-
     injector.startCampaign(FaultRates::paperJune2023(), nodes,
                            /*nicsPerNode=*/8, /*gpusPerNode=*/8,
-                           /*numTrunks=*/0, days(30.0 * kMonths));
+                           /*numTrunks=*/0, days(30.0 * months));
     sim.run();
 
-    struct Row
-    {
-        int count = 0;
-        int local = 0;
-    };
-    std::map<std::string, Row> rows;
     int crashes = 0;
+    int counts[std::size(kGroups)] = {};
+    int local[std::size(kGroups)] = {};
     for (const FaultEvent &ev : injector.history()) {
-        if (!faultIsFatal(ev.type) && ev.type != FaultType::NetworkOther)
+        if (!faultIsFatal(ev.type) &&
+            ev.type != FaultType::NetworkOther) {
             continue;
-        Row &row = rows[std::string(userVisibleError(ev.type)) + "|" +
-                        rootCauseLabel(ev.type)];
-        ++row.count;
-        row.local += ev.isLocal ? 1 : 0;
+        }
+        for (std::size_t g = 0; g < std::size(kGroups); ++g) {
+            if (kGroups[g].matches(ev.type)) {
+                ++counts[g];
+                local[g] += ev.isLocal ? 1 : 0;
+            }
+        }
         ++crashes;
     }
 
-    AsciiTable table({"Users' View", "Root Causes", "Proportion",
-                      "Local", "Paper: Proportion / Local"});
-    const std::map<std::string, std::string> paper = {
-        {"NCCL Error|CUDA Error", "12.5% / 100%"},
-        {"NCCL Error|ECC/NVLink Error", "27.5% / 100%"},
-        {"NCCL Error|NCCL timeout", "20% / 75%"},
-        {"NCCL Error|ACK timeout", "27.5% / 81.8%"},
-        {"Network Error|Others", "12.5% / 40%"},
-    };
-    for (const auto &[key, row] : rows) {
-        const auto bar = key.find('|');
-        const auto paper_it = paper.find(key);
-        table.addRow({
-            key.substr(0, bar),
-            key.substr(bar + 1),
-            AsciiTable::percent(static_cast<double>(row.count) / crashes,
-                                1),
-            AsciiTable::percent(
-                row.count > 0
-                    ? static_cast<double>(row.local) / row.count
-                    : 0.0,
-                1),
-            paper_it != paper.end() ? paper_it->second : "-",
-        });
+    for (std::size_t g = 0; g < std::size(kGroups); ++g) {
+        const std::string stem = kGroups[g].metric;
+        ctx.metric("p_" + stem,
+                   crashes > 0 ? static_cast<double>(counts[g]) /
+                                     crashes
+                               : 0.0);
+        ctx.metric("local_" + stem,
+                   counts[g] > 0 ? static_cast<double>(local[g]) /
+                                       counts[g]
+                                 : 0.0);
     }
-    std::printf("%s\n",
-                table
-                    .str("Table I: crash-cause distribution "
-                         "(4096 GPUs, " +
-                         std::to_string(kMonths) +
-                         " simulated months, " +
-                         std::to_string(crashes) + " crashes)")
-                    .c_str());
-
-    const double per_month =
-        static_cast<double>(crashes) / kMonths;
-    std::printf("Crash rate: %.1f per month (paper: 40 per month)\n",
-                per_month);
-    return 0;
+    ctx.metric("crashes_per_month",
+               static_cast<double>(crashes) / months);
 }
+
+const Register reg{{
+    .name = "table1_crash_causes",
+    .title = "Table I: crash-cause distribution (4096 GPUs, "
+             "simulated months)",
+    .description =
+        "Poisson fault campaign at the June-2023 rates over 512 "
+        "nodes; crashes classified by user-visible error and root "
+        "cause.",
+    .notes = "Paper: CUDA 12.5%/100% local, ECC/NVLink 27.5%/100%, "
+             "NCCL timeout 20%/75%, ACK timeout 27.5%/81.8%, other "
+             "network 12.5%/40%; ~40 crashes per month.",
+    .fullTrials = 1,
+    .smokeTrials = 1,
+    .seed = 20240406,
+    .variants =
+        [](const RunOptions &) {
+            ScenarioSpec spec;
+            spec.variant = "june2023";
+            spec.custom = runTrial;
+            return std::vector<ScenarioSpec>{spec};
+        },
+    .summarize = {},
+}};
+
+} // namespace

@@ -1,91 +1,107 @@
 /**
  * @file
- * Reproduces Table III: error-induced downtime of a 2400-GPU GPT-175B
- * job over one month, before (June 2023) and after (December 2023) C4D
- * deployment. A Monte-Carlo month is run under each recovery policy;
- * the table prints our measured fractions next to the paper's.
+ * Scenario `table3_downtime` — Table III: error-induced downtime of a
+ * 2400-GPU GPT-175B job over one month, before (June 2023) and after
+ * (December 2023) C4D deployment. Each trial is an independent batch
+ * of Monte-Carlo months through DowntimeModel; the runner's trial
+ * sweep replaces the old in-driver trial loop (and parallelizes it).
  */
 
+#include <cctype>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
-#include "bench_util.h"
 #include "c4d/downtime.h"
-#include "common/table.h"
-#include "common/types.h"
-
-using namespace c4;
-using namespace c4::c4d;
+#include "scenario/registry.h"
 
 namespace {
 
-struct PaperColumn
-{
-    double postCkpt, detection, diagTotal;
-    double diag[kNumCauseGroups]; // Ecc/NVLink, Cuda, Ccl, Ack, Unknown
-    double reinit, total;
-};
+using namespace c4;
+using namespace c4::c4d;
+using namespace c4::scenario;
 
-constexpr PaperColumn kPaperJune = {
-    0.0753, 0.0341, 0.1965, {0.0834, 0.0419, 0.03, 0.018, 0.0229},
-    0.006, 0.3119};
-constexpr PaperColumn kPaperDec = {
-    0.0023, 0.0005, 0.0073, {0.002, 0.001, 0.0023, 0.001, 0.001},
-    0.0015, 0.0116};
+constexpr int kGpus = 2400; // the paper's month-long study job
 
 void
-printColumn(const char *title, const DowntimeBreakdown &b,
-            const PaperColumn &paper)
+emitBreakdown(TrialContext &ctx, const DowntimeBreakdown &b)
 {
-    AsciiTable t({"Component", "Measured", "Paper"});
-    t.addRow({"Post-Checkpoint", AsciiTable::percent(b.postCheckpoint),
-              AsciiTable::percent(paper.postCkpt)});
-    t.addRow({"Detection", AsciiTable::percent(b.detection),
-              AsciiTable::percent(paper.detection)});
-    t.addRow({"Diagnosis & Isolation",
-              AsciiTable::percent(b.diagnosisTotal()),
-              AsciiTable::percent(paper.diagTotal)});
+    ctx.metric("post_checkpoint", b.postCheckpoint);
+    ctx.metric("detection", b.detection);
+    ctx.metric("diagnosis_total", b.diagnosisTotal());
     for (int g = 0; g < kNumCauseGroups; ++g) {
-        t.addRow({std::string("  ") +
-                      causeGroupName(static_cast<CauseGroup>(g)),
-                  AsciiTable::percent(b.diagnosisByCause[g]),
-                  AsciiTable::percent(paper.diag[g])});
+        std::string name = causeGroupName(static_cast<CauseGroup>(g));
+        for (char &c : name) {
+            c = c == ' ' || c == '/'
+                    ? '_'
+                    : static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c)));
+        }
+        ctx.metric("diag_" + name,
+                   b.diagnosisByCause[static_cast<std::size_t>(g)]);
     }
-    t.addRow({"Re-Initialization", AsciiTable::percent(b.reinit),
-              AsciiTable::percent(paper.reinit)});
-    t.addRule();
-    t.addRow({"Total", AsciiTable::percent(b.total()),
-              AsciiTable::percent(paper.total)});
-    std::printf("%s\n", t.str(title).c_str());
-    std::printf("  crash events/month (mean): %.1f\n\n",
-                b.totalEvents());
+    ctx.metric("reinit", b.reinit);
+    ctx.metric("total", b.total());
+    ctx.metric("events_per_month", b.totalEvents());
 }
+
+void
+runRegime(TrialContext &ctx, bool december)
+{
+    DowntimeModel model(
+        december ? RecoveryPolicy::december2023()
+                 : RecoveryPolicy::june2023(),
+        december ? fault::FaultRates::paperDecember2023()
+                 : fault::FaultRates::paperJune2023(),
+        kGpus, days(30), ctx.seed);
+    emitBreakdown(ctx, model.run(ctx.pick(32, 4)));
+}
+
+const Register reg{{
+    .name = "table3_downtime",
+    .title = "Table III: error-induced downtime, Jun 2023 (pre-C4D) "
+             "vs Dec 2023 (C4D)",
+    .description =
+        "Monte-Carlo months of a 2400-GPU job under the June-2023 and "
+        "December-2023 recovery regimes; downtime fractions by "
+        "component.",
+    .notes = "Paper totals: 31.19% (Jun) vs 1.16% (Dec) — a 26.9x "
+             "reduction.",
+    .fullTrials = 8,
+    .smokeTrials = 2,
+    .seed = 0x7AB1E3,
+    .variants =
+        [](const RunOptions &) {
+            ScenarioSpec june;
+            june.variant = "june2023";
+            june.custom = [](TrialContext &ctx) {
+                runRegime(ctx, false);
+            };
+            ScenarioSpec dec;
+            dec.variant = "december2023";
+            dec.custom = [](TrialContext &ctx) {
+                runRegime(ctx, true);
+            };
+            return std::vector<ScenarioSpec>{june, dec};
+        },
+    .summarize =
+        [](const std::vector<TrialResult> &results) {
+            const auto totals = variantMetricMeans(results, "total");
+            auto mean = [&](const char *v) {
+                auto it = totals.find(v);
+                return it == totals.end() ? 0.0 : it->second;
+            };
+            const double june = mean("june2023");
+            const double dec = mean("december2023");
+            if (dec <= 0.0)
+                return std::string();
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "downtime reduction: %.1fx (paper: %.1fx)",
+                          june / dec, 0.3119 / 0.0116);
+            return std::string(buf);
+        },
+}};
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    const bench::Options opt = bench::parseArgs(argc, argv);
-    constexpr int kGpus = 2400; // the paper's month-long study job
-    const int kTrials = opt.pick(256, 8);
-
-    DowntimeModel june(RecoveryPolicy::june2023(),
-                       fault::FaultRates::paperJune2023(), kGpus,
-                       days(30), /*seed=*/0x7AB1E3);
-    const DowntimeBreakdown jb = june.run(kTrials);
-    printColumn("Table III (a): Error-induced downtime, Jun 2023 "
-                "(pre-C4D)",
-                jb, kPaperJune);
-
-    DowntimeModel dec(RecoveryPolicy::december2023(),
-                      fault::FaultRates::paperDecember2023(), kGpus,
-                      days(30), /*seed=*/0x7AB1E4);
-    const DowntimeBreakdown db = dec.run(kTrials);
-    printColumn("Table III (b): Error-induced downtime, Dec 2023 "
-                "(C4D deployed)",
-                db, kPaperDec);
-
-    std::printf("Downtime reduction: %.1fx (paper: %.1fx)\n",
-                jb.total() / db.total(), 0.3119 / 0.0116);
-    return 0;
-}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * The unified bench binary: every paper figure, table, ablation, and
+ * extra workload is a scenario registered by the translation units
+ * linked alongside this main. `c4bench --list` enumerates them;
+ * `c4bench <name> --smoke` is what CTest runs under the bench-smoke
+ * label.
+ */
+
+#include "scenario/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    return c4::scenario::scenarioMain(argc, argv);
+}

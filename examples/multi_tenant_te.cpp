@@ -4,49 +4,38 @@
  * benchmarks contend for the spine fabric (the Fig. 10a scenario).
  * Without coordination, ECMP hash collisions let some tasks starve;
  * C4P's cluster-level path allocation restores every task to the
- * NVLink-limited ceiling.
+ * NVLink-limited ceiling. Runs through the scenario engine with both
+ * a stdout table and a CSV stream, as a CSV-sink usage example.
  *
  *   $ ./examples/multi_tenant_te
  */
 
 #include <cstdio>
-#include <memory>
+#include <iostream>
+#include <sstream>
 #include <vector>
 
-#include "core/cluster.h"
-#include "core/experiment.h"
+#include "scenario/runner.h"
 
 using namespace c4;
-using namespace c4::core;
+using namespace c4::scenario;
 
 namespace {
 
-std::vector<double>
-run(bool enable_c4p)
+ScenarioSpec
+tenants(bool enableC4p)
 {
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4p = enable_c4p;
-    Cluster cluster(cc);
+    ScenarioSpec spec;
+    spec.variant = enableC4p ? "c4p" : "ecmp";
+    spec.features.c4p = enableC4p;
 
-    const auto placements = crossSegmentPairs(cluster.topology(), 8);
-    std::vector<std::unique_ptr<AllreduceTask>> tasks;
-    for (std::size_t i = 0; i < placements.size(); ++i) {
-        AllreduceTaskConfig tc;
-        tc.job = static_cast<JobId>(i + 1);
-        tc.nodes = placements[i];
-        tc.bytes = mib(256);
-        tc.iterations = 30;
-        tasks.push_back(std::make_unique<AllreduceTask>(cluster, tc));
-    }
-    for (auto &t : tasks)
-        t->start();
-    cluster.run();
-
-    std::vector<double> out;
-    for (auto &t : tasks)
-        out.push_back(t->busBwGbps().mean());
-    return out;
+    AllreduceGroupSpec g;
+    g.tasks = 8;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.bytes = mib(256);
+    g.iterations = 30;
+    spec.allreduces.push_back(g);
+    return spec;
 }
 
 } // namespace
@@ -54,22 +43,31 @@ run(bool enable_c4p)
 int
 main()
 {
-    std::printf("8 concurrent 2-node allreduce tenants, 1:1 fat-tree\n\n");
-    const auto base = run(false);
-    const auto c4p = run(true);
+    std::printf(
+        "8 concurrent 2-node allreduce tenants, 1:1 fat-tree\n\n");
 
-    std::printf("%-8s %18s %18s\n", "task", "ECMP (Gbps)", "C4P (Gbps)");
-    double base_sum = 0, c4p_sum = 0;
-    for (std::size_t i = 0; i < base.size(); ++i) {
-        std::printf("task%-4zu %18.2f %18.2f\n", i + 1, base[i],
-                    c4p[i]);
-        base_sum += base[i];
-        c4p_sum += c4p[i];
-    }
-    std::printf("%-8s %18.2f %18.2f  (+%.1f%%)\n", "mean",
-                base_sum / 8.0, c4p_sum / 8.0,
-                (c4p_sum / base_sum - 1.0) * 100.0);
-    std::printf("\npaper Fig. 10a: baseline 171.93-263.27 Gbps, C4P "
-                "353.86-360.57 (+70.3%%)\n");
-    return 0;
+    Scenario sc;
+    sc.name = "multi_tenant_te";
+    sc.title = "Multi-tenant TE: per-task allreduce busbw";
+    sc.notes = "paper Fig. 10a: baseline 171.93-263.27 Gbps, C4P "
+               "353.86-360.57 (+70.3%)";
+    sc.variants = [](const RunOptions &) {
+        return std::vector<ScenarioSpec>{tenants(false),
+                                         tenants(true)};
+    };
+
+    TableSink table(std::cout);
+    std::ostringstream csv;
+    CsvSink csvSink(csv);
+    ScenarioRunner runner;
+    runner.addSink(table);
+    runner.addSink(csvSink);
+    const int rc = runner.run(sc);
+
+    std::printf("\nper-trial rows the CSV sink captured (head):\n");
+    std::istringstream lines(csv.str());
+    std::string line;
+    for (int i = 0; i < 4 && std::getline(lines, line); ++i)
+        std::printf("  %s\n", line.c_str());
+    return rc;
 }

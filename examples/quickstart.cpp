@@ -1,41 +1,47 @@
 /**
  * @file
- * Quickstart: build the paper's 16-node testbed, run an nccl-test-style
- * allreduce benchmark twice — once with stock ECMP routing and once with
- * C4P traffic engineering — and print the measured bus bandwidth.
+ * Quickstart: build the paper's 16-node testbed and run an
+ * nccl-test-style allreduce benchmark twice — once with stock ECMP
+ * routing and once with C4P traffic engineering — through the scenario
+ * engine. Shows the engine used as a library: declare two variant
+ * specs, run them with a table sink, and read the busbw gap.
  *
  *   $ ./examples/quickstart
  */
 
 #include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
-#include "core/cluster.h"
-#include "core/experiment.h"
+#include "net/topology.h"
+#include "scenario/runner.h"
+#include "scenario/workload.h"
 
 using namespace c4;
-using namespace c4::core;
+using namespace c4::scenario;
 
 namespace {
 
-double
-runOnce(bool enable_c4p)
+ScenarioSpec
+allreduce(bool enableC4p)
 {
-    ClusterConfig cc;
-    cc.topology = paperTestbed();
-    cc.enableC4p = enable_c4p;
-    Cluster cluster(cc);
+    ScenarioSpec spec;
+    spec.variant = enableC4p ? "c4p_te" : "ecmp";
+    spec.features.c4p = enableC4p;
 
-    // Four nodes under different leaf pairs: traffic crosses the spines
-    // and every ring boundary is a dual-port collision opportunity.
-    AllreduceTaskConfig tc;
-    tc.nodes = {0, 4, 8, 12};
-    tc.bytes = mib(256);
-    tc.iterations = 20;
-    AllreduceTask task(cluster, tc);
-    task.start();
-    cluster.run();
-
-    return task.busBwGbps().mean();
+    // Four nodes under different leaf pairs: traffic crosses the
+    // spines and every ring boundary is a dual-port collision
+    // opportunity.
+    AllreduceGroupSpec g;
+    g.tasks = 1;
+    g.placement = AllreduceGroupSpec::Placement::Explicit;
+    g.explicitNodes = {{0, 4, 8, 12}};
+    g.bytes = mib(256);
+    g.iterations = 20;
+    spec.allreduces.push_back(g);
+    return spec;
 }
 
 } // namespace
@@ -45,18 +51,30 @@ main()
 {
     std::printf("C4 quickstart: 32-GPU ring allreduce, 256 MiB\n");
     std::printf("  topology : %s\n",
-                net::Topology(paperTestbed()).summary().c_str());
+                net::Topology(core::paperTestbed()).summary().c_str());
 
-    const double baseline = runOnce(false);
-    const double c4p = runOnce(true);
+    Scenario sc;
+    sc.name = "quickstart";
+    sc.title = "Quickstart: ring allreduce busbw, ECMP vs C4P";
+    sc.variants = [](const RunOptions &) {
+        return std::vector<ScenarioSpec>{allreduce(false),
+                                         allreduce(true)};
+    };
+    sc.summarize = [](const std::vector<TrialResult> &results) {
+        auto busbw = variantMetricMeans(results, "busbw_mean");
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "improvement: %+.1f%%",
+                      (busbw["c4p_te"] / busbw["ecmp"] - 1.0) * 100.0);
+        return std::string(buf);
+    };
 
-    std::printf("  baseline (ECMP)            : %7.2f Gbps busbw\n",
-                baseline);
-    std::printf("  C4P traffic engineering    : %7.2f Gbps busbw\n", c4p);
-    std::printf("  improvement                : %+6.1f%%\n",
-                (c4p / baseline - 1.0) * 100.0);
+    TableSink table(std::cout);
+    ScenarioRunner runner;
+    runner.addSink(table);
+    const int rc = runner.run(sc);
+
     std::printf("\nThe NVLink fabric caps busbw at 362 Gbps (paper "
                 "Section IV-B); the gap\nto the baseline comes from "
                 "dual-port RX imbalance and spine collisions.\n");
-    return 0;
+    return rc;
 }

@@ -17,6 +17,7 @@ JobSteeringService::manageJob(train::TrainingJob &job)
 {
     jobs_[job.id()] = &job;
     const JobId id = job.id();
+    ++manageEpoch_[id];
     job.onWatchdogKill([this, id] { onWatchdogKill(id); });
 }
 
@@ -25,6 +26,7 @@ JobSteeringService::unmanageJob(JobId id)
 {
     jobs_.erase(id);
     restartPending_.erase(id);
+    ++manageEpoch_[id];
 }
 
 void
@@ -65,9 +67,16 @@ JobSteeringService::scheduleRestart(train::TrainingJob &job,
     restartPending_.insert(job.id());
 
     const JobId id = job.id();
-    sim_.scheduleAfter(delay, [this, id, toIsolate, eventTime, viaC4d] {
-        auto it = jobs_.find(id);
+    const std::uint64_t epoch = manageEpoch_[id];
+    sim_.scheduleAfter(delay, [this, id, epoch, toIsolate, eventTime,
+                               viaC4d] {
+        // A stale timer (the job was unmanaged or re-registered since)
+        // must not touch the new incarnation's state — not even its
+        // restartPending_ flag.
+        if (manageEpoch_[id] != epoch)
+            return;
         restartPending_.erase(id);
+        auto it = jobs_.find(id);
         if (it == jobs_.end())
             return;
         train::TrainingJob &j = *it->second;

@@ -111,6 +111,10 @@ class JobSteeringService
     CulpritOracle oracle_;
 
     std::unordered_map<JobId, train::TrainingJob *> jobs_;
+    /** Bumped on (un)manage; stale recovery timers check it so a job
+     * re-registered under a reused id is not acted on by a timer
+     * scheduled for its predecessor. */
+    std::unordered_map<JobId, std::uint64_t> manageEpoch_;
     std::deque<NodeId> backups_;
     std::unordered_set<NodeId> isolated_;
     std::unordered_set<JobId> restartPending_;

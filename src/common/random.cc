@@ -18,10 +18,22 @@ rotl(std::uint64_t x, int k)
 std::uint64_t
 Rng::splitmix64(std::uint64_t &x)
 {
-    std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    return mixSeed(x += 0x9E3779B97F4A7C15ull);
+}
+
+std::uint64_t
+mixSeed(std::uint64_t x)
+{
+    std::uint64_t z = x;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return z ^ (z >> 31);
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t salt)
+{
+    return mixSeed(base + 0x9E3779B97F4A7C15ull * (salt + 1));
 }
 
 Rng::Rng(std::uint64_t seed)

@@ -19,6 +19,20 @@
 namespace c4 {
 
 /**
+ * One splitmix64 step: mix @p x into a well-distributed 64-bit value.
+ * The shared primitive behind Rng seeding and derived sub-seeds
+ * (per-trial seeds, per-consumer streams).
+ */
+std::uint64_t mixSeed(std::uint64_t x);
+
+/**
+ * Derive an independent stream seed from a base seed and a salt
+ * (trial index, consumer id, ...). The single definition behind the
+ * scenario runner's per-trial seeds and per-consumer sub-streams.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t salt);
+
+/**
  * xoshiro256** pseudo-random generator with distribution helpers.
  *
  * Satisfies the UniformRandomBitGenerator concept so it can also be used

@@ -75,8 +75,13 @@ Cluster::~Cluster()
 std::vector<NodeId>
 Cluster::allocateNodes(int count, PlacementStrategy strategy)
 {
+    // Unrepaired hardware is masked out of the pool: a broken node in
+    // the free list would hand every new job a start failure.
+    std::vector<bool> unavailable = nodeUsed_;
+    for (NodeId n : broken_)
+        unavailable[static_cast<std::size_t>(n)] = true;
     std::vector<NodeId> out =
-        choosePlacement(topo_, nodeUsed_, count, strategy);
+        choosePlacement(topo_, unavailable, count, strategy);
     if (out.empty() && count > 0)
         throw std::runtime_error("node pool exhausted");
     for (NodeId n : out)
@@ -146,6 +151,30 @@ Cluster::job(JobId id)
 {
     auto it = jobs_.find(id);
     return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+bool
+Cluster::removeJob(JobId id)
+{
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    train::TrainingJob &j = *it->second;
+    // Unmanage first so an in-flight steering recovery cannot touch
+    // the job after teardown.
+    if (steering_)
+        steering_->unmanageJob(id);
+    j.stop();
+    // Broken nodes return to the pool too — allocateNodes masks them
+    // until repaired — but steering-isolated nodes stay out (that is
+    // the steering service's lifecycle, not the allocator's).
+    for (NodeId n : j.nodes()) {
+        if (steering_ && steering_->isolatedNodes().count(n))
+            continue;
+        nodeUsed_[static_cast<std::size_t>(n)] = false;
+    }
+    jobs_.erase(it);
+    return true;
 }
 
 void

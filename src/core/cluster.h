@@ -121,6 +121,17 @@ class Cluster
 
     train::TrainingJob *job(JobId id);
     std::size_t jobCount() const { return jobs_.size(); }
+
+    /**
+     * Stop and deregister a job, returning its nodes to the free pool.
+     * Broken nodes return too but stay masked out of allocation until
+     * repaired; steering-isolated nodes stay out entirely. Backup
+     * nodes the steering service swapped in are freed into the general
+     * pool, not back onto the warm-standby queue. No-op on an unknown
+     * id.
+     * @return true if the job existed.
+     */
+    bool removeJob(JobId id);
     /** @} */
 
     /**

@@ -92,4 +92,24 @@ crossSegmentPairs(const net::Topology &topo, int numTasks)
     return tasks;
 }
 
+std::vector<NodeId>
+spreadAcrossSegments(const net::Topology &topo, int count)
+{
+    const int segments = topo.numSegments();
+    const int per_segment = topo.config().nodesPerSegment;
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int seg = i % segments;
+        const int slot = i / segments;
+        const NodeId n = static_cast<NodeId>(seg * per_segment + slot);
+        if (slot >= per_segment || n >= topo.numNodes()) {
+            throw std::invalid_argument(
+                "not enough nodes to spread across segments");
+        }
+        nodes.push_back(n);
+    }
+    return nodes;
+}
+
 } // namespace c4::core

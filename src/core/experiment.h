@@ -78,6 +78,14 @@ class AllreduceTask
 std::vector<std::vector<NodeId>>
 crossSegmentPairs(const net::Topology &topo, int numTasks);
 
+/**
+ * Spread @p count nodes round-robin across the segments (node i of
+ * segment i mod S): every ring boundary crosses the spines — the
+ * Fig. 9 placement.
+ */
+std::vector<NodeId> spreadAcrossSegments(const net::Topology &topo,
+                                         int count);
+
 } // namespace c4::core
 
 #endif // C4_CORE_EXPERIMENT_H

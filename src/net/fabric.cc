@@ -17,6 +17,16 @@ constexpr double kByteEpsilon = 0.5;
 /** A link allocated beyond this fraction of capacity is congested. */
 constexpr double kCongestedFraction = 0.999;
 
+/** Key of the per-(sender node, NIC) CNP aggregate map. */
+std::uint64_t
+nicKey(NodeId node, NicId nic)
+{
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(node))
+            << 32) |
+           static_cast<std::uint32_t>(nic);
+}
+
 } // namespace
 
 Fabric::Fabric(Simulator &sim, Topology &topo, FabricConfig cfg,
@@ -339,6 +349,15 @@ Fabric::recompute()
         }
     }
 
+    // Rebuild the per-(node, nic) CNP aggregate so nicCnpRate() is a
+    // lookup instead of an O(flows) scan per polled NIC.
+    nicCnp_.clear();
+    for (const FlowState *f : runnable) {
+        if (f->hasReq && f->cnpRate > 0.0)
+            nicCnp_[nicKey(f->req.srcNode, f->req.srcNic)] +=
+                f->cnpRate;
+    }
+
     // Schedule the next completion.
     if (completionEvent_ != kInvalidEvent) {
         sim_.cancel(completionEvent_);
@@ -463,14 +482,8 @@ double
 Fabric::nicCnpRate(NodeId node, NicId nic)
 {
     flush();
-    double rate = 0.0;
-    for (const auto &[id, flow] : flows_) {
-        if (flow.hasReq && flow.req.srcNode == node &&
-            flow.req.srcNic == nic) {
-            rate += flow.cnpRate;
-        }
-    }
-    return rate;
+    auto it = nicCnp_.find(nicKey(node, nic));
+    return it == nicCnp_.end() ? 0.0 : it->second;
 }
 
 } // namespace c4::net

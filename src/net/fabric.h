@@ -153,6 +153,8 @@ class Fabric
     /**
      * CNPs per second currently delivered to the sender-side bonded port
      * (NIC) — the paper's Fig. 11 metric. Aggregates both planes.
+     * O(1): served from a per-(node, nic) aggregate maintained by
+     * recompute(), so C4D-style polling of every NIC stays cheap.
      */
     double nicCnpRate(NodeId node, NicId nic);
 
@@ -188,6 +190,9 @@ class Fabric
 
     std::unordered_map<FlowId, FlowState> flows_;
     FlowId nextFlowId_ = 1;
+
+    // Aggregate CNP rate per sender (node, nic), rebuilt by recompute().
+    std::unordered_map<std::uint64_t, double> nicCnp_;
 
     Time lastAdvance_ = 0;
     bool dirty_ = false;

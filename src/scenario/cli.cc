@@ -1,0 +1,198 @@
+#include "scenario/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+
+namespace c4::scenario {
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <scenario...> [options]\n"
+        "       %s --list | --all [options]\n"
+        "\n"
+        "options:\n"
+        "  --smoke        seconds-scale pass; numbers are NOT "
+        "paper-comparable\n"
+        "  --trials N     trials per variant (default: per scenario)\n"
+        "  --threads N    parallel trial workers (default: hardware)\n"
+        "  --seed S       base seed (decimal or 0x hex)\n"
+        "  --csv FILE     write per-trial rows as CSV (one file can\n"
+        "                 hold all scenarios of one invocation)\n"
+        "  --json FILE    write results as JSON\n"
+        "  --list         list registered scenarios and exit\n"
+        "  --all          run every registered scenario\n",
+        argv0, argv0);
+}
+
+bool
+parseInt(const char *s, int &out)
+{
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 0 || v > 1'000'000)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseSeed(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 0);
+    return end != s && *end == '\0';
+}
+
+} // namespace
+
+int
+scenarioMain(int argc, char **argv)
+{
+    RunOptions opt;
+    std::vector<std::string> names;
+    std::string csvPath, jsonPath;
+    bool list = false;
+    bool all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--smoke") == 0) {
+            opt.smoke = true;
+        } else if (std::strcmp(arg, "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(arg, "--all") == 0) {
+            all = true;
+        } else if (std::strcmp(arg, "--trials") == 0) {
+            const char *v = value("--trials");
+            if (!v || !parseInt(v, opt.trials)) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            const char *v = value("--threads");
+            if (!v || !parseInt(v, opt.threads)) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            const char *v = value("--seed");
+            if (!v || !parseSeed(v, opt.seed)) {
+                usage(argv[0]);
+                return 2;
+            }
+            opt.seedSet = true;
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            const char *v = value("--csv");
+            if (!v) {
+                usage(argv[0]);
+                return 2;
+            }
+            csvPath = v;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            const char *v = value("--json");
+            if (!v) {
+                usage(argv[0]);
+                return 2;
+            }
+            jsonPath = v;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage(argv[0]);
+            return 2;
+        } else {
+            names.emplace_back(arg);
+        }
+    }
+
+    Registry &registry = Registry::instance();
+    if (list) {
+        for (const Scenario *s : registry.all())
+            std::printf("%-24s %s\n", s->name.c_str(),
+                        s->title.c_str());
+        return 0;
+    }
+
+    std::vector<const Scenario *> targets;
+    if (all) {
+        targets = registry.all();
+    } else {
+        for (const std::string &name : names) {
+            const Scenario *s = registry.find(name);
+            if (!s) {
+                std::fprintf(stderr,
+                             "unknown scenario '%s' (try --list)\n",
+                             name.c_str());
+                return 2;
+            }
+            targets.push_back(s);
+        }
+    }
+    if (targets.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    if (opt.smoke) {
+        std::printf("[smoke] reduced trials/iterations/horizons; "
+                    "numbers are not paper-comparable\n");
+    }
+
+    std::ofstream csvFile, jsonFile;
+    std::vector<std::unique_ptr<ResultSink>> sinks;
+    sinks.push_back(std::make_unique<TableSink>(std::cout));
+    if (!csvPath.empty()) {
+        csvFile.open(csvPath);
+        if (!csvFile) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         csvPath.c_str());
+            return 2;
+        }
+        sinks.push_back(std::make_unique<CsvSink>(csvFile));
+    }
+    if (!jsonPath.empty()) {
+        jsonFile.open(jsonPath);
+        if (!jsonFile) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        sinks.push_back(std::make_unique<JsonSink>(jsonFile));
+    }
+
+    ScenarioRunner runner(opt);
+    for (auto &sink : sinks)
+        runner.addSink(*sink);
+
+    int rc = 0;
+    for (const Scenario *s : targets)
+        rc = runner.run(*s) != 0 ? 1 : rc;
+    return rc;
+}
+
+} // namespace c4::scenario

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The unified scenario CLI. Every registered scenario is runnable via
+ *
+ *   c4bench <scenario...> [--smoke] [--trials N] [--threads N]
+ *           [--seed S] [--csv FILE] [--json FILE]
+ *   c4bench --list              # enumerate registered scenarios
+ *   c4bench --all [...]        # run everything
+ *
+ * scenarioMain() is the whole bench binary's main(); examples may call
+ * it too to expose a scoped scenario set.
+ */
+
+#ifndef C4_SCENARIO_CLI_H
+#define C4_SCENARIO_CLI_H
+
+namespace c4::scenario {
+
+/**
+ * Parse argv, resolve scenarios against the registry, and run them.
+ * @return process exit code (0 ok, 1 run failure, 2 usage error).
+ */
+int scenarioMain(int argc, char **argv);
+
+} // namespace c4::scenario
+
+#endif // C4_SCENARIO_CLI_H

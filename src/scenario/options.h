@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared run options and per-trial result containers for the scenario
+ * engine. Every scenario — paper figure, ablation, or ad-hoc workload —
+ * runs under the same RunOptions, so the CLI flags (--smoke, --seed,
+ * --trials, --threads, --csv) mean the same thing everywhere.
+ */
+
+#ifndef C4_SCENARIO_OPTIONS_H
+#define C4_SCENARIO_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c4::scenario {
+
+/** Options shared by every scenario run (the unified bench CLI). */
+struct RunOptions
+{
+    /** Seconds-scale pass over the full code path; numbers are NOT
+     * paper-comparable. */
+    bool smoke = false;
+
+    /** Trials per variant; 0 = the scenario's own default. */
+    int trials = 0;
+
+    /** Worker threads for the trial sweep; 0 = hardware concurrency.
+     * Results are byte-identical regardless of the thread count. */
+    int threads = 0;
+
+    /** Base seed; per-trial seeds are derived deterministically. */
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+
+    /** The full-fidelity value, or the slashed one in smoke mode. */
+    template <typename T>
+    T
+    pick(T full, T tiny) const
+    {
+        return smoke ? tiny : full;
+    }
+};
+
+/** One named measurement produced by a trial. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** Everything one (variant, trial) execution produced. */
+struct TrialResult
+{
+    std::string scenario;
+    std::string variant;
+    int variantIndex = 0;
+    int trial = 0;
+    std::uint64_t seed = 0;
+    std::vector<Metric> metrics;
+};
+
+/**
+ * Handed to a trial execution; collects metrics. Each trial owns an
+ * independent context (and Simulator), so trials may run on parallel
+ * workers without synchronization.
+ */
+class TrialContext
+{
+  public:
+    TrialContext(const RunOptions &opt, std::uint64_t seed, int trial)
+        : opt(opt), seed(seed), trial(trial)
+    {
+    }
+
+    TrialContext(const TrialContext &) = delete;
+    TrialContext &operator=(const TrialContext &) = delete;
+
+    const RunOptions &opt;
+    const std::uint64_t seed;
+    const int trial;
+
+    /** Record one measurement. Order is preserved into sinks. */
+    void
+    metric(std::string name, double value)
+    {
+        metrics_.push_back({std::move(name), value});
+    }
+
+    const std::vector<Metric> &metrics() const { return metrics_; }
+
+    template <typename T>
+    T
+    pick(T full, T tiny) const
+    {
+        return opt.pick(std::move(full), std::move(tiny));
+    }
+
+  private:
+    std::vector<Metric> metrics_;
+};
+
+/** splitmix64-derived per-trial seed; independent of thread schedule. */
+std::uint64_t trialSeed(std::uint64_t base, int trial);
+
+/**
+ * variant -> mean of @p metric over that variant's trials. The shared
+ * aggregation behind summarize() hooks; variants without the metric
+ * are absent from the map.
+ */
+std::map<std::string, double>
+variantMetricMeans(const std::vector<TrialResult> &results,
+                   const std::string &metric);
+
+} // namespace c4::scenario
+
+#endif // C4_SCENARIO_OPTIONS_H

@@ -1,0 +1,59 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace c4::scenario {
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(Scenario scenario)
+{
+    if (scenario.name.empty())
+        throw std::invalid_argument("scenario name must not be empty");
+    if (!scenario.variants)
+        throw std::invalid_argument("scenario '" + scenario.name +
+                                    "' has no variants factory");
+    if (find(scenario.name)) {
+        throw std::invalid_argument("duplicate scenario name '" +
+                                    scenario.name + "'");
+    }
+    scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario *
+Registry::find(const std::string &name) const
+{
+    for (const Scenario &s : scenarios_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::vector<const Scenario *>
+Registry::all() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(scenarios_.size());
+    for (const Scenario &s : scenarios_)
+        out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const Scenario *a, const Scenario *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+Register::Register(Scenario scenario)
+{
+    Registry::instance().add(std::move(scenario));
+}
+
+} // namespace c4::scenario

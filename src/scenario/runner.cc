@@ -1,0 +1,153 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "common/random.h"
+#include "scenario/workload.h"
+
+namespace c4::scenario {
+
+std::uint64_t
+trialSeed(std::uint64_t base, int trial)
+{
+    // Mixed per-trial streams, independent of execution order.
+    return deriveSeed(base, static_cast<std::uint64_t>(trial));
+}
+
+ScenarioRunner::ScenarioRunner(RunOptions opt) : opt_(opt) {}
+
+void
+ScenarioRunner::addSink(ResultSink &sink)
+{
+    sinks_.push_back(&sink);
+}
+
+RunOptions
+ScenarioRunner::resolved(const Scenario &scenario) const
+{
+    RunOptions opt = opt_;
+    if (opt.trials <= 0) {
+        opt.trials =
+            opt.smoke ? scenario.smokeTrials : scenario.fullTrials;
+    }
+    if (!opt.seedSet) {
+        opt.seed = scenario.seed;
+        opt.seedSet = true;
+    }
+    if (opt.threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        opt.threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    return opt;
+}
+
+int
+ScenarioRunner::run(const Scenario &scenario)
+{
+    const RunOptions opt = resolved(scenario);
+    const std::vector<ScenarioSpec> variants = scenario.variants(opt);
+    if (variants.empty()) {
+        std::fprintf(stderr, "scenario '%s' produced no variants\n",
+                     scenario.name.c_str());
+        return 1;
+    }
+    for (const ScenarioSpec &spec : variants) {
+        const std::string invalid = validateSpec(spec);
+        if (!invalid.empty()) {
+            std::fprintf(stderr, "scenario '%s': invalid spec: %s\n",
+                         scenario.name.c_str(), invalid.c_str());
+            return 1;
+        }
+    }
+
+    const std::size_t items = variants.size() *
+                              static_cast<std::size_t>(opt.trials);
+    std::vector<TrialResult> results(items);
+    std::vector<std::exception_ptr> errors(items);
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= items)
+                return;
+            const std::size_t v =
+                i / static_cast<std::size_t>(opt.trials);
+            const int trial =
+                static_cast<int>(i %
+                                 static_cast<std::size_t>(opt.trials));
+            const ScenarioSpec &spec = variants[v];
+            TrialContext ctx(opt, trialSeed(opt.seed, trial), trial);
+            try {
+                if (spec.custom)
+                    spec.custom(ctx);
+                else
+                    runSpecTrial(spec, ctx);
+            } catch (...) {
+                errors[i] = std::current_exception();
+                continue;
+            }
+            TrialResult &r = results[i];
+            r.scenario = scenario.name;
+            r.variant = spec.variant;
+            r.variantIndex = static_cast<int>(v);
+            r.trial = trial;
+            r.seed = ctx.seed;
+            r.metrics = ctx.metrics();
+        }
+    };
+
+    const std::size_t workers =
+        scenario.serialTrials
+            ? 1
+            : std::min<std::size_t>(
+                  static_cast<std::size_t>(opt.threads), items);
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < items; ++i) {
+        if (!errors[i])
+            continue;
+        std::string what = "unknown exception";
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        std::fprintf(
+            stderr,
+            "scenario '%s' variant '%s' trial %zu failed: %s\n",
+            scenario.name.c_str(),
+            variants[i / static_cast<std::size_t>(opt.trials)]
+                .variant.c_str(),
+            i % static_cast<std::size_t>(opt.trials), what.c_str());
+        return 1;
+    }
+
+    // Deterministic emission order: variant-major, then trial.
+    for (ResultSink *sink : sinks_)
+        sink->begin(scenario, opt);
+    for (const TrialResult &r : results) {
+        for (ResultSink *sink : sinks_)
+            sink->trial(r);
+    }
+    for (ResultSink *sink : sinks_)
+        sink->end(scenario);
+    return 0;
+}
+
+} // namespace c4::scenario

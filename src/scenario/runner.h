@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The scenario runner: expands a scenario into (variant, trial) work
+ * items, executes them across std::thread workers — each trial owns an
+ * independent Simulator, so trials are embarrassingly parallel — and
+ * streams the results through the attached sinks in a deterministic
+ * order. Per-trial seeds derive from (base seed, trial index) only, so
+ * results are byte-identical for any thread count and variants of the
+ * same trial index stay seed-paired (baseline vs C4P comparisons).
+ */
+
+#ifndef C4_SCENARIO_RUNNER_H
+#define C4_SCENARIO_RUNNER_H
+
+#include <vector>
+
+#include "scenario/options.h"
+#include "scenario/registry.h"
+#include "scenario/sink.h"
+
+namespace c4::scenario {
+
+class ScenarioRunner
+{
+  public:
+    explicit ScenarioRunner(RunOptions opt = {});
+
+    /** Attach a sink; must outlive the runner's run() calls. */
+    void addSink(ResultSink &sink);
+
+    /**
+     * Run every variant x trial of @p scenario.
+     * @return 0 on success, 1 when a spec failed validation or a trial
+     *         threw (the error is reported to stderr).
+     */
+    int run(const Scenario &scenario);
+
+    /** Options with trials/seed/threads resolved for @p scenario. */
+    RunOptions resolved(const Scenario &scenario) const;
+
+  private:
+    RunOptions opt_;
+    std::vector<ResultSink *> sinks_;
+};
+
+} // namespace c4::scenario
+
+#endif // C4_SCENARIO_RUNNER_H

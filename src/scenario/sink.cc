@@ -1,0 +1,244 @@
+#include "scenario/sink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "scenario/registry.h"
+
+namespace c4::scenario {
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::map<std::string, double>
+variantMetricMeans(const std::vector<TrialResult> &results,
+                   const std::string &metric)
+{
+    std::map<std::string, std::pair<double, int>> acc;
+    for (const TrialResult &r : results) {
+        for (const Metric &m : r.metrics) {
+            if (m.name == metric) {
+                acc[r.variant].first += m.value;
+                acc[r.variant].second += 1;
+            }
+        }
+    }
+    std::map<std::string, double> means;
+    for (const auto &[variant, sum] : acc)
+        means[variant] = sum.first / sum.second;
+    return means;
+}
+
+// --- TableSink --------------------------------------------------------
+
+TableSink::TableSink(std::ostream &out) : out_(out) {}
+
+std::string
+TableSink::formatValue(double v)
+{
+    const double a = std::fabs(v);
+    if (a != 0.0 && (a >= 1e6 || a < 1e-3))
+        return formatDouble(v);
+    if (a >= 100.0)
+        return AsciiTable::num(v, 1);
+    if (a >= 1.0)
+        return AsciiTable::num(v, 2);
+    return AsciiTable::num(v, 4);
+}
+
+void
+TableSink::begin(const Scenario &scenario, const RunOptions &opt)
+{
+    (void)scenario;
+    trials_ = opt.trials;
+    results_.clear();
+}
+
+void
+TableSink::trial(const TrialResult &result)
+{
+    results_.push_back(result);
+}
+
+void
+TableSink::end(const Scenario &scenario)
+{
+    // Column per variant, row per metric (variants are few, metrics
+    // can be many — transposed reads better for Fig. 13-style output).
+    std::vector<std::string> variants;
+    std::vector<std::string> metricNames;
+    // (variant, metric) -> running sum/count for the mean.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<double, int>>
+        cells;
+    for (const TrialResult &r : results_) {
+        if (std::find(variants.begin(), variants.end(), r.variant) ==
+            variants.end()) {
+            variants.push_back(r.variant);
+        }
+        for (const Metric &m : r.metrics) {
+            if (std::find(metricNames.begin(), metricNames.end(),
+                          m.name) == metricNames.end()) {
+                metricNames.push_back(m.name);
+            }
+            auto &cell = cells[{r.variant, m.name}];
+            cell.first += m.value;
+            cell.second += 1;
+        }
+    }
+
+    std::vector<std::string> headers;
+    headers.push_back("metric");
+    for (const std::string &v : variants)
+        headers.push_back(v);
+    AsciiTable table(headers);
+    for (const std::string &name : metricNames) {
+        std::vector<std::string> row;
+        row.push_back(name);
+        for (const std::string &v : variants) {
+            auto it = cells.find({v, name});
+            row.push_back(it == cells.end() || it->second.second == 0
+                              ? "-"
+                              : formatValue(it->second.first /
+                                            it->second.second));
+        }
+        table.addRow(row);
+    }
+
+    std::string title = scenario.title;
+    if (trials_ > 1)
+        title += " (mean of " + std::to_string(trials_) + " trials)";
+    out_ << table.str(title) << "\n";
+    if (!scenario.notes.empty())
+        out_ << scenario.notes << "\n";
+    if (scenario.summarize) {
+        const std::string extra = scenario.summarize(results_);
+        if (!extra.empty())
+            out_ << extra << "\n";
+    }
+    out_.flush();
+}
+
+// --- CsvSink ----------------------------------------------------------
+
+CsvSink::CsvSink(std::ostream &out) : out_(out) {}
+
+void
+CsvSink::begin(const Scenario &scenario, const RunOptions &opt)
+{
+    (void)scenario;
+    (void)opt;
+    if (!headerWritten_) {
+        CsvWriter w(out_);
+        w.header({"scenario", "variant", "trial", "seed", "metric",
+                  "value"});
+        headerWritten_ = true;
+    }
+}
+
+void
+CsvSink::trial(const TrialResult &result)
+{
+    CsvWriter w(out_);
+    for (const Metric &m : result.metrics) {
+        w.cell(result.scenario)
+            .cell(result.variant)
+            .cell(static_cast<std::int64_t>(result.trial))
+            .cell(result.seed)
+            .cell(m.name)
+            .cell(formatDouble(m.value));
+        w.endRow();
+    }
+    out_.flush();
+}
+
+// --- JsonSink ---------------------------------------------------------
+
+JsonSink::JsonSink(std::ostream &out) : out_(out)
+{
+    out_ << "[";
+}
+
+JsonSink::~JsonSink()
+{
+    out_ << "\n]\n";
+    out_.flush();
+}
+
+void
+JsonSink::begin(const Scenario &scenario, const RunOptions &opt)
+{
+    if (anyScenario_)
+        out_ << ",";
+    anyScenario_ = true;
+    anyTrial_ = false;
+    out_ << "\n  {\"scenario\": \"" << jsonEscape(scenario.name)
+         << "\", \"title\": \"" << jsonEscape(scenario.title)
+         << "\", \"smoke\": " << (opt.smoke ? "true" : "false")
+         << ", \"trials\": " << opt.trials << ", \"results\": [";
+}
+
+void
+JsonSink::trial(const TrialResult &result)
+{
+    if (anyTrial_)
+        out_ << ",";
+    anyTrial_ = true;
+    out_ << "\n    {\"variant\": \"" << jsonEscape(result.variant)
+         << "\", \"trial\": " << result.trial << ", \"seed\": "
+         << result.seed << ", \"metrics\": {";
+    bool first = true;
+    for (const Metric &m : result.metrics) {
+        if (!first)
+            out_ << ", ";
+        first = false;
+        out_ << "\"" << jsonEscape(m.name)
+             << "\": " << formatDouble(m.value);
+    }
+    out_ << "}}";
+}
+
+void
+JsonSink::end(const Scenario &scenario)
+{
+    (void)scenario;
+    out_ << "\n  ]}";
+    out_.flush();
+}
+
+} // namespace c4::scenario

@@ -1,0 +1,114 @@
+#include "scenario/spec.h"
+
+#include <set>
+#include <sstream>
+
+namespace c4::scenario {
+
+bool
+knownModel(const std::string &model)
+{
+    return model == "gpt22b" || model == "gpt175b" ||
+           model == "llama7b" || model == "llama13b";
+}
+
+namespace {
+
+std::string
+err(const ScenarioSpec &spec, const std::string &what)
+{
+    return "variant '" + spec.variant + "': " + what;
+}
+
+} // namespace
+
+std::string
+validateSpec(const ScenarioSpec &spec)
+{
+    if (spec.variant.empty())
+        return "spec has an empty variant label";
+    if (spec.custom)
+        return ""; // custom executors own their configuration
+
+    if (spec.topology.kind == TopologySpec::Kind::Pod &&
+        spec.topology.numNodes <= 0) {
+        return err(spec, "Pod topology needs numNodes > 0");
+    }
+    if (spec.topology.oversubscription <= 0.0)
+        return err(spec, "oversubscription must be > 0");
+    if (spec.topology.nodesPerSegment < 0)
+        return err(spec, "nodesPerSegment must be >= 0");
+    if (spec.features.qpsPerConnection < 0)
+        return err(spec, "qpsPerConnection must be >= 0");
+    if (spec.features.backupNodes < 0)
+        return err(spec, "backupNodes must be >= 0");
+    if (spec.features.backupNodes > 0 && !spec.features.c4d)
+        return err(spec, "backup nodes need C4D enabled");
+
+    std::set<JobId> ids;
+    for (const JobSpec &job : spec.jobs) {
+        if (!knownModel(job.model))
+            return err(spec, "unknown model '" + job.model + "'");
+        if (!ids.insert(job.id).second) {
+            std::ostringstream os;
+            os << "duplicate job id " << job.id;
+            return err(spec, os.str());
+        }
+        if (job.parallel.tp < 1 || job.parallel.pp < 1 ||
+            job.parallel.dp < 1) {
+            return err(spec, "parallel degrees must be >= 1");
+        }
+        if (job.microBatch < 1)
+            return err(spec, "microBatch must be >= 1");
+    }
+    if (!spec.jobs.empty() && spec.horizon <= 0) {
+        return err(spec,
+                   "jobs iterate forever; a horizon > 0 is required");
+    }
+
+    for (const AllreduceGroupSpec &g : spec.allreduces) {
+        if (g.tasks < 1)
+            return err(spec, "allreduce group needs tasks >= 1");
+        if (g.iterations < 1)
+            return err(spec, "allreduce group needs iterations >= 1");
+        if (g.bytes == 0)
+            return err(spec, "allreduce group needs bytes > 0");
+        if (g.placement == AllreduceGroupSpec::Placement::Explicit &&
+            g.explicitNodes.size() != static_cast<std::size_t>(g.tasks)) {
+            return err(spec, "explicit allreduce placement needs one "
+                             "node list per task");
+        }
+        if (g.placement ==
+            AllreduceGroupSpec::Placement::SpreadAcrossSegments) {
+            if (g.nodesPerTask < 2)
+                return err(spec,
+                           "spread allreduce needs nodesPerTask >= 2");
+            if (g.tasks != 1)
+                return err(spec, "spread allreduce placement supports "
+                                 "exactly one task");
+        }
+    }
+
+    for (const FaultSpec &f : spec.faults) {
+        if (f.job == kInvalidId && f.node == kInvalidId)
+            return err(spec, "fault needs a job or an absolute node");
+        if (f.job != kInvalidId && f.jobNodeIndex < 0)
+            return err(spec, "fault jobNodeIndex must be >= 0");
+        if (f.severity <= 0.0)
+            return err(spec, "fault severity must be > 0");
+    }
+    if (spec.campaign.enabled && spec.campaign.span <= 0)
+        return err(spec, "campaign needs span > 0");
+
+    if (spec.metrics.detection && !spec.features.c4d)
+        return err(spec, "detection metrics need C4D enabled");
+    if (spec.metrics.detection && spec.faults.empty())
+        return err(spec, "detection metrics need an injected fault");
+    if (spec.metrics.cnpSamplePeriod < 0 ||
+        spec.metrics.uplinkSamplePeriod < 0) {
+        return err(spec, "sampler periods must be >= 0");
+    }
+    return "";
+}
+
+} // namespace c4::scenario

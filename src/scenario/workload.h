@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The declarative-spec interpreter: turns one ScenarioSpec + one seed
+ * into a metric set by instantiating a Cluster, materializing the job /
+ * allreduce workload, scheduling the fault plan, sampling the requested
+ * telemetry, and running the simulation to the horizon.
+ */
+
+#ifndef C4_SCENARIO_WORKLOAD_H
+#define C4_SCENARIO_WORKLOAD_H
+
+#include "core/cluster.h"
+#include "scenario/options.h"
+#include "scenario/spec.h"
+
+namespace c4::scenario {
+
+/**
+ * Execute one declarative trial.
+ * @throws std::invalid_argument when validateSpec rejects the spec.
+ */
+void runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx);
+
+/** Build the ClusterConfig a spec describes (exposed for tests). */
+core::ClusterConfig toClusterConfig(const ScenarioSpec &spec,
+                                    std::uint64_t seed);
+
+/** Look up a model preset by registry name (validated names only). */
+train::ModelConfig modelByName(const std::string &name);
+
+} // namespace c4::scenario
+
+#endif // C4_SCENARIO_WORKLOAD_H
