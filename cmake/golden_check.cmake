@@ -1,0 +1,34 @@
+# Golden-CSV gate, run as `cmake -P` from CTest: re-run one scenario
+# in smoke mode and byte-compare its CSV against the committed golden.
+#
+# Inputs: BENCH (c4bench path), SCENARIO, GOLDEN (committed CSV),
+# OUT (scratch CSV to write).
+
+get_filename_component(out_dir "${OUT}" DIRECTORY)
+file(MAKE_DIRECTORY "${out_dir}")
+
+execute_process(
+    COMMAND "${BENCH}" "${SCENARIO}" --smoke --trials 1 --csv "${OUT}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "${SCENARIO}: c4bench exited with ${run_rc}")
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+    message(FATAL_ERROR
+        "${SCENARIO}: no golden CSV at ${GOLDEN}; run "
+        "tests/golden/update.sh and commit the result")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT}" "${GOLDEN}"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u "${GOLDEN}" "${OUT}")
+    message(FATAL_ERROR
+        "${SCENARIO}: smoke CSV differs from ${GOLDEN} — a metric "
+        "regression, or an intentional change that needs "
+        "tests/golden/update.sh re-run")
+endif()

@@ -1,0 +1,38 @@
+# Spec-file round-trip gate, run as `cmake -P` from CTest: dump one
+# built-in scenario as a spec file, load that file back (it replaces
+# the built-in), dump again, and byte-compare the two dumps.
+#
+# Inputs: BENCH (c4bench path), SCENARIO, WORK_DIR (scratch dir).
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(first "${WORK_DIR}/${SCENARIO}.json")
+set(second "${WORK_DIR}/${SCENARIO}.redump.json")
+
+execute_process(
+    COMMAND "${BENCH}" --smoke --dump-spec "${SCENARIO}"
+    OUTPUT_FILE "${first}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SCENARIO}: --dump-spec exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND "${BENCH}" --smoke --spec "${first}"
+            --dump-spec "${SCENARIO}"
+    OUTPUT_FILE "${second}"
+    ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "${SCENARIO}: --spec reload + --dump-spec exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${first}" "${second}"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u "${first}" "${second}")
+    message(FATAL_ERROR
+        "${SCENARIO}: spec file is not byte-stable under "
+        "dump -> parse -> re-dump")
+endif()

@@ -1,0 +1,41 @@
+# Spec-twin gate, run as `cmake -P` from CTest: a spec file that
+# recreates a built-in scenario must produce a byte-identical smoke
+# CSV when loaded from disk (ISSUE 3 acceptance criterion).
+#
+# Inputs: BENCH (c4bench path), SCENARIO (built-in name), SPEC
+# (spec-file path), WORK_DIR (scratch dir).
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(builtin_csv "${WORK_DIR}/${SCENARIO}.builtin.csv")
+set(spec_csv "${WORK_DIR}/${SCENARIO}.spec.csv")
+
+execute_process(
+    COMMAND "${BENCH}" "${SCENARIO}" --smoke --trials 1
+            --csv "${builtin_csv}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SCENARIO}: built-in run exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND "${BENCH}" --spec "${SPEC}" --smoke --trials 1
+            --csv "${spec_csv}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET
+    ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SPEC}: spec-file run exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${builtin_csv}"
+            "${spec_csv}"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u "${builtin_csv}" "${spec_csv}")
+    message(FATAL_ERROR
+        "${SPEC}: smoke CSV differs from the built-in '${SCENARIO}' "
+        "run — re-dump the built-in (c4bench --smoke --dump-spec "
+        "${SCENARIO}) or update the spec file")
+endif()

@@ -95,6 +95,7 @@ Cluster::provisionBackupNodes(int count)
     if (!steering_)
         throw std::runtime_error("backup nodes need C4D enabled");
     steering_->addBackupNodes(allocateNodes(count));
+    backupReserve_ += count;
 }
 
 int
@@ -167,10 +168,19 @@ Cluster::removeJob(JobId id)
     j.stop();
     // Broken nodes return to the pool too — allocateNodes masks them
     // until repaired — but steering-isolated nodes stay out (that is
-    // the steering service's lifecycle, not the allocator's).
+    // the steering service's lifecycle, not the allocator's). Healthy
+    // nodes refill the warm-standby queue up to the configured
+    // reserve before any reach the general pool; they stay marked
+    // used, exactly like the nodes provisionBackupNodes reserved.
     for (NodeId n : j.nodes()) {
         if (steering_ && steering_->isolatedNodes().count(n))
             continue;
+        if (steering_ && !broken_.count(n) &&
+            steering_->backupsAvailable() <
+                static_cast<std::size_t>(backupReserve_)) {
+            steering_->addBackupNodes({n});
+            continue;
+        }
         nodeUsed_[static_cast<std::size_t>(n)] = false;
     }
     jobs_.erase(it);

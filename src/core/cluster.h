@@ -91,8 +91,16 @@ class Cluster
     allocateNodes(int count,
                   PlacementStrategy strategy = PlacementStrategy::Packed);
 
-    /** Reserve @p count nodes as warm backups for the steering pool. */
+    /**
+     * Reserve @p count nodes as warm backups for the steering pool.
+     * The accumulated count becomes the backup *reserve size*:
+     * removeJob refills the pool back up to it from freed healthy
+     * nodes.
+     */
     void provisionBackupNodes(int count);
+
+    /** Warm-standby target established by provisionBackupNodes. */
+    int backupReserve() const { return backupReserve_; }
 
     int freeNodes() const;
 
@@ -125,10 +133,12 @@ class Cluster
     /**
      * Stop and deregister a job, returning its nodes to the free pool.
      * Broken nodes return too but stay masked out of allocation until
-     * repaired; steering-isolated nodes stay out entirely. Backup
-     * nodes the steering service swapped in are freed into the general
-     * pool, not back onto the warm-standby queue. No-op on an unknown
-     * id.
+     * repaired; steering-isolated nodes stay out entirely. While the
+     * steering service's warm-standby queue sits below the configured
+     * reserve (provisionBackupNodes), freed healthy nodes refill it —
+     * the swapped-in backup a departing job hands back becomes the
+     * next job's warm spare instead of leaking into the general pool.
+     * No-op on an unknown id.
      * @return true if the job existed.
      */
     bool removeJob(JobId id);
@@ -162,6 +172,7 @@ class Cluster
     std::unordered_map<JobId, std::unique_ptr<train::TrainingJob>> jobs_;
     std::vector<bool> nodeUsed_;
     std::unordered_set<NodeId> broken_;
+    int backupReserve_ = 0;
 
     void applyFault(const fault::FaultEvent &ev);
     train::TrainingJob *jobOnNode(NodeId node);

@@ -1,5 +1,8 @@
 #include "scenario/cli.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +20,13 @@ namespace c4::scenario {
 
 namespace {
 
+SpecCliHooks &
+specHooks()
+{
+    static SpecCliHooks hooks;
+    return hooks;
+}
+
 void
 usage(const char *argv0)
 {
@@ -24,6 +34,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s <scenario...> [options]\n"
         "       %s --list | --all [options]\n"
+        "       %s --spec FILE[,FILE...] [options]\n"
+        "       %s --dump-spec NAME [options]\n"
         "\n"
         "options:\n"
         "  --smoke        seconds-scale pass; numbers are NOT "
@@ -35,8 +47,39 @@ usage(const char *argv0)
         "                 hold all scenarios of one invocation)\n"
         "  --json FILE    write results as JSON\n"
         "  --list         list registered scenarios and exit\n"
-        "  --all          run every registered scenario\n",
-        argv0, argv0);
+        "  --all          run every registered scenario\n"
+        "  --spec FILES   load scenarios from spec files and run them\n"
+        "                 (a positional argument ending in .json is\n"
+        "                 treated as a spec file too); a file naming\n"
+        "                 a registered scenario replaces it\n"
+        "  --dump-spec NAME\n"
+        "                 write NAME as a spec file to stdout and\n"
+        "                 exit; variants are frozen under the other\n"
+        "                 flags (--smoke, --trials, --seed)\n",
+        argv0, argv0, argv0, argv0);
+}
+
+bool
+looksLikeSpecPath(const char *arg)
+{
+    const std::size_t n = std::strlen(arg);
+    return n > 5 && std::strcmp(arg + n - 5, ".json") == 0;
+}
+
+void
+splitCommaList(const std::string &list, std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            out.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
 }
 
 bool
@@ -53,18 +96,38 @@ parseInt(const char *s, int &out)
 bool
 parseSeed(const char *s, std::uint64_t &out)
 {
-    char *end = nullptr;
-    out = std::strtoull(s, &end, 0);
-    return end != s && *end == '\0';
+    // Hex with an explicit 0x prefix, otherwise decimal — never
+    // octal, matching spec-file "seed" strings, so a seed copied
+    // between the command line and a spec file means the same run.
+    const bool hex = s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+    const char *digits = hex ? s + 2 : s;
+    if (*digits == '\0')
+        return false;
+    for (const char *p = digits; *p; ++p) {
+        const auto c = static_cast<unsigned char>(*p);
+        if (!(hex ? std::isxdigit(c) : std::isdigit(c)))
+            return false;
+    }
+    errno = 0;
+    out = std::strtoull(s, nullptr, hex ? 16 : 10);
+    return errno == 0;
 }
 
 } // namespace
+
+void
+setSpecCliHooks(SpecCliHooks hooks)
+{
+    specHooks() = std::move(hooks);
+}
 
 int
 scenarioMain(int argc, char **argv)
 {
     RunOptions opt;
     std::vector<std::string> names;
+    std::vector<std::string> specPaths;
+    std::string dumpName;
     std::string csvPath, jsonPath;
     bool list = false;
     bool all = false;
@@ -117,6 +180,27 @@ scenarioMain(int argc, char **argv)
                 return 2;
             }
             jsonPath = v;
+        } else if (std::strcmp(arg, "--spec") == 0) {
+            const char *v = value("--spec");
+            if (!v) {
+                usage(argv[0]);
+                return 2;
+            }
+            splitCommaList(v, specPaths);
+        } else if (std::strcmp(arg, "--dump-spec") == 0) {
+            const char *v = value("--dump-spec");
+            if (!v) {
+                usage(argv[0]);
+                return 2;
+            }
+            if (!dumpName.empty()) {
+                // Concatenated documents would not reload; one
+                // scenario per dump.
+                std::fprintf(stderr,
+                             "--dump-spec may be given only once\n");
+                return 2;
+            }
+            dumpName = v;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             usage(argv[0]);
@@ -125,12 +209,51 @@ scenarioMain(int argc, char **argv)
             std::fprintf(stderr, "unknown option '%s'\n", arg);
             usage(argv[0]);
             return 2;
+        } else if (looksLikeSpecPath(arg)) {
+            // `c4bench --spec specs/*.json` shell-expands into
+            // positional paths after the first; treat them all as
+            // spec files.
+            specPaths.emplace_back(arg);
         } else {
             names.emplace_back(arg);
         }
     }
 
     Registry &registry = Registry::instance();
+
+    if ((!specPaths.empty() && !specHooks().loadAndRegister) ||
+        (!dumpName.empty() && !specHooks().dump)) {
+        std::fprintf(stderr, "this binary was built without "
+                             "spec-file support\n");
+        return 2;
+    }
+    for (const std::string &path : specPaths) {
+        try {
+            std::string loaded = specHooks().loadAndRegister(path);
+            if (std::find(names.begin(), names.end(), loaded) ==
+                names.end()) {
+                names.push_back(std::move(loaded));
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    if (!dumpName.empty()) {
+        const Scenario *s = registry.find(dumpName);
+        if (!s) {
+            std::fprintf(stderr,
+                         "unknown scenario '%s' (try --list)\n",
+                         dumpName.c_str());
+            return 2;
+        }
+        const ScenarioRunner runner(opt);
+        const std::string text =
+            specHooks().dump(*s, runner.resolved(*s));
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
     if (list) {
         for (const Scenario *s : registry.all())
             std::printf("%-24s %s\n", s->name.c_str(),

@@ -6,15 +6,50 @@
  *           [--seed S] [--csv FILE] [--json FILE]
  *   c4bench --list              # enumerate registered scenarios
  *   c4bench --all [...]        # run everything
+ *   c4bench --spec file.json   # register + run a spec file from disk
+ *   c4bench --dump-spec NAME   # export a scenario as a spec file
  *
  * scenarioMain() is the whole bench binary's main(); examples may call
  * it too to expose a scoped scenario set.
+ *
+ * Spec-file support is provided by the specio module, one layer above
+ * this one, through SpecCliHooks — a binary that wants --spec /
+ * --dump-spec calls specio::installSpecCliHooks() before
+ * scenarioMain(); one that does not simply rejects the flags.
  */
 
 #ifndef C4_SCENARIO_CLI_H
 #define C4_SCENARIO_CLI_H
 
+#include <functional>
+#include <string>
+
+#include "scenario/options.h"
+
 namespace c4::scenario {
+
+struct Scenario;
+
+/** Spec-file handlers installed by a higher layer (specio). */
+struct SpecCliHooks
+{
+    /**
+     * Load @p path, register its scenario (replacing a same-named
+     * registration), and return the scenario name.
+     * @throws std::exception on parse/validation failure.
+     */
+    std::function<std::string(const std::string &path)>
+        loadAndRegister;
+
+    /** Serialize @p scenario with its variants evaluated under
+     * @p opt. */
+    std::function<std::string(const Scenario &scenario,
+                              const RunOptions &opt)>
+        dump;
+};
+
+/** Install the --spec / --dump-spec handlers (see SpecCliHooks). */
+void setSpecCliHooks(SpecCliHooks hooks);
 
 /**
  * Parse argv, resolve scenarios against the registry, and run them.

@@ -27,6 +27,24 @@ Registry::add(Scenario scenario)
     scenarios_.push_back(std::move(scenario));
 }
 
+bool
+Registry::addOrReplace(Scenario scenario)
+{
+    if (scenario.name.empty())
+        throw std::invalid_argument("scenario name must not be empty");
+    if (!scenario.variants)
+        throw std::invalid_argument("scenario '" + scenario.name +
+                                    "' has no variants factory");
+    for (Scenario &existing : scenarios_) {
+        if (existing.name == scenario.name) {
+            existing = std::move(scenario);
+            return true;
+        }
+    }
+    scenarios_.push_back(std::move(scenario));
+    return false;
+}
+
 const Scenario *
 Registry::find(const std::string &name) const
 {

@@ -66,6 +66,15 @@ class Registry
     /** @throws std::invalid_argument on a duplicate or empty name. */
     void add(Scenario scenario);
 
+    /**
+     * Insert a dynamically-built scenario (a spec file loaded from
+     * disk), replacing any same-named registration — that is what lets
+     * a copy-edited `--dump-spec` output shadow its built-in twin.
+     * @return true when an existing scenario was replaced.
+     * @throws std::invalid_argument on an empty name or null variants.
+     */
+    bool addOrReplace(Scenario scenario);
+
     /** @return the scenario, or nullptr when unknown. */
     const Scenario *find(const std::string &name) const;
 

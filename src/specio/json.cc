@@ -1,0 +1,491 @@
+#include "specio/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace c4::specio {
+
+std::string
+SpecError::locate(const std::string &message, int line, int column)
+{
+    if (line <= 0)
+        return message;
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ": " + message;
+}
+
+const Json::Member *
+Json::find(const std::string &key) const
+{
+    for (const Member &m : object) {
+        if (m.key == key)
+            return &m;
+    }
+    return nullptr;
+}
+
+const char *
+Json::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "boolean";
+      case Kind::Int: return "integer";
+      case Kind::Double: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        skipWhitespace();
+        Json v = value(0);
+        skipWhitespace();
+        if (pos_ < text_.size())
+            fail("unexpected trailing content after the document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw SpecError(what, line_, column_);
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            advance();
+        }
+    }
+
+    void
+    expect(char c, const char *context)
+    {
+        if (pos_ >= text_.size()) {
+            fail(std::string("unexpected end of document; expected "
+                             "'") +
+                 c + "' " + context);
+        }
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "' " + context +
+                 ", found '" + peek() + "'");
+        }
+        advance();
+    }
+
+    Json
+    value(int depth)
+    {
+        if (depth > 64)
+            fail("document nests deeper than 64 levels");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of document; expected a value");
+        Json v;
+        v.line = line_;
+        v.column = column_;
+        const char c = peek();
+        if (c == '{')
+            parseObject(v, depth);
+        else if (c == '[')
+            parseArray(v, depth);
+        else if (c == '"')
+            parseString(v);
+        else if (c == '-' || (c >= '0' && c <= '9'))
+            parseNumber(v);
+        else if (literal("true"))
+            v.kind = Json::Kind::Bool, v.boolean = true;
+        else if (literal("false"))
+            v.kind = Json::Kind::Bool, v.boolean = false;
+        else if (literal("null"))
+            v.kind = Json::Kind::Null;
+        else
+            fail(std::string("unexpected character '") + c + "'");
+        return v;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        for (std::size_t i = 0; i < n; ++i)
+            advance();
+        return true;
+    }
+
+    void
+    parseObject(Json &v, int depth)
+    {
+        v.kind = Json::Kind::Object;
+        advance(); // '{'
+        skipWhitespace();
+        if (peek() == '}') {
+            advance();
+            return;
+        }
+        for (;;) {
+            skipWhitespace();
+            Json::Member m;
+            m.keyLine = line_;
+            m.keyColumn = column_;
+            if (peek() != '"')
+                fail("expected a quoted object key");
+            Json key;
+            parseString(key);
+            m.key = key.string;
+            if (v.find(m.key)) {
+                throw SpecError("duplicate key \"" + m.key + "\"",
+                                m.keyLine, m.keyColumn);
+            }
+            skipWhitespace();
+            expect(':', "after object key");
+            m.value = value(depth + 1);
+            v.object.push_back(std::move(m));
+            skipWhitespace();
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect('}', "to close the object");
+            return;
+        }
+    }
+
+    void
+    parseArray(Json &v, int depth)
+    {
+        v.kind = Json::Kind::Array;
+        advance(); // '['
+        skipWhitespace();
+        if (peek() == ']') {
+            advance();
+            return;
+        }
+        for (;;) {
+            v.array.push_back(value(depth + 1));
+            skipWhitespace();
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect(']', "to close the array");
+            return;
+        }
+    }
+
+    void
+    parseString(Json &v)
+    {
+        v.kind = Json::Kind::String;
+        advance(); // '"'
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = advance();
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character inside a string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape sequence");
+            const char e = advance();
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos_ >= text_.size())
+                        fail("unterminated \\u escape");
+                    const char h = advance();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // UTF-8 encode the code point (BMP only; surrogate
+                // pairs are not needed for spec files).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail(std::string("invalid escape '\\") + e + "'");
+            }
+        }
+        v.string = std::move(out);
+    }
+
+    void
+    parseNumber(Json &v)
+    {
+        const std::size_t start = pos_;
+        bool isDouble = false;
+        if (peek() == '-')
+            advance();
+        if (!(peek() >= '0' && peek() <= '9'))
+            fail("malformed number");
+        // JSON: a leading zero stands alone before the point/exponent.
+        if (peek() == '0') {
+            advance();
+            if (peek() >= '0' && peek() <= '9')
+                fail("malformed number: leading zero");
+        }
+        while (peek() >= '0' && peek() <= '9')
+            advance();
+        if (peek() == '.') {
+            isDouble = true;
+            advance();
+            if (!(peek() >= '0' && peek() <= '9'))
+                fail("malformed number: digit required after '.'");
+            while (peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            isDouble = true;
+            advance();
+            if (peek() == '+' || peek() == '-')
+                advance();
+            if (!(peek() >= '0' && peek() <= '9'))
+                fail("malformed number: digit required in exponent");
+            while (peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        v.raw = token;
+        if (!isDouble) {
+            errno = 0;
+            char *end = nullptr;
+            const long long i =
+                std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                v.kind = Json::Kind::Int;
+                v.integer = i;
+                return;
+            }
+            // Fall through: out of int64 range, keep as double.
+        }
+        v.kind = Json::Kind::Double;
+        errno = 0;
+        v.number = std::strtod(token.c_str(), nullptr);
+        if (errno == ERANGE && !std::isfinite(v.number))
+            fail("number '" + token + "' is out of double range");
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+void
+writeString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+}
+
+void
+writeValue(std::string &out, const Json &v, int indent)
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(
+        static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (v.kind) {
+      case Json::Kind::Null:
+        out += "null";
+        break;
+      case Json::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case Json::Kind::Int:
+        out += std::to_string(v.integer);
+        break;
+      case Json::Kind::Double:
+        out += v.raw.empty() ? formatJsonDouble(v.number) : v.raw;
+        break;
+      case Json::Kind::String:
+        writeString(out, v.string);
+        break;
+      case Json::Kind::Array: {
+        if (v.array.empty()) {
+            out += "[]";
+            break;
+        }
+        // Arrays of scalars stay on one line; nested structures get
+        // one element per line.
+        bool scalar = true;
+        for (const Json &e : v.array) {
+            if (e.kind == Json::Kind::Array ||
+                e.kind == Json::Kind::Object) {
+                scalar = false;
+                break;
+            }
+        }
+        out.push_back('[');
+        bool first = true;
+        for (const Json &e : v.array) {
+            if (!first)
+                out += scalar ? ", " : ",";
+            if (!scalar) {
+                out.push_back('\n');
+                out += inner;
+            }
+            first = false;
+            writeValue(out, e, indent + 1);
+        }
+        if (!scalar) {
+            out.push_back('\n');
+            out += pad;
+        }
+        out.push_back(']');
+        break;
+      }
+      case Json::Kind::Object: {
+        if (v.object.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        bool first = true;
+        for (const Json::Member &m : v.object) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            out.push_back('\n');
+            out += inner;
+            writeString(out, m.key);
+            out += ": ";
+            writeValue(out, m.value, indent + 1);
+        }
+        out.push_back('\n');
+        out += pad;
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+formatJsonDouble(double v)
+{
+    // JSON has no encoding for these; surfacing the error beats
+    // emitting a document that cannot re-parse.
+    if (!std::isfinite(v))
+        throw SpecError("non-finite number cannot be serialized", 0, 0);
+    // Shortest decimal form that parses back to the same double, so
+    // write -> parse -> write is byte-stable.
+    char buf[40];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    // A bare integer-looking token would re-parse as Kind::Int; keep
+    // the double-ness explicit.
+    if (!std::strpbrk(buf, ".eE"))
+        std::strcat(buf, ".0");
+    return buf;
+}
+
+Json
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+std::string
+writeJson(const Json &value)
+{
+    std::string out;
+    writeValue(out, value, 0);
+    out.push_back('\n');
+    return out;
+}
+
+} // namespace c4::specio

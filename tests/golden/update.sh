@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate the golden smoke CSVs (tests/golden/<scenario>.csv) from
+# a built c4bench. Run after an INTENTIONAL metric change, eyeball the
+# diff, and commit the result; `ctest -L golden` byte-compares against
+# these files.
+#
+# usage: tests/golden/update.sh [path/to/c4bench]
+set -e
+bench=${1:-build/bench/c4bench}
+dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+"$bench" --list | while read -r name _; do
+    case $name in
+    micro_core)
+        # Wall-clock timing metrics; never reproducible.
+        continue ;;
+    esac
+    "$bench" "$name" --smoke --trials 1 --csv "$dir/$name.csv" \
+        > /dev/null
+    echo "updated tests/golden/$name.csv"
+done

@@ -162,6 +162,49 @@ TEST(Cluster, BackupProvisioningNeedsC4d)
     EXPECT_EQ(with.freeNodes(), 14);
 }
 
+TEST(Cluster, RemoveJobRefillsBackupPool)
+{
+    ClusterConfig cc;
+    cc.topology = paperTestbed();
+    cc.enableC4d = true;
+    cc.steering.isolationDelay = seconds(1);
+    Cluster cluster(cc);
+    cluster.provisionBackupNodes(2);
+    EXPECT_EQ(cluster.backupReserve(), 2);
+    ASSERT_EQ(cluster.steering()->backupsAvailable(), 2u);
+
+    train::JobConfig jc;
+    jc.id = 7;
+    jc.model = train::llama7b();
+    jc.model.microbatchCompute = milliseconds(300);
+    jc.parallel = {.tp = 8, .pp = 1, .dp = 2};
+    jc.initTime = seconds(5);
+    auto &job = cluster.addJob(jc);
+    job.start();
+    cluster.run(seconds(10));
+
+    // A fatal C4D event against the job's first node: steering
+    // isolates it and swaps in a warm backup.
+    c4d::C4dEvent ev;
+    ev.when = cluster.sim().now();
+    ev.kind = c4d::C4dEventKind::CommHang;
+    ev.job = jc.id;
+    ev.suspectNodes = {job.nodes().front()};
+    cluster.steering()->handleEvent(ev);
+    cluster.run(cluster.sim().now() + seconds(30));
+    ASSERT_EQ(cluster.steering()->backupsAvailable(), 1u);
+    ASSERT_EQ(cluster.steering()->isolatedNodes().size(), 1u);
+
+    const int freeBefore = cluster.freeNodes();
+    EXPECT_TRUE(cluster.removeJob(jc.id));
+    // Of the two freed healthy nodes, one refills the warm-standby
+    // queue back to the reserve of 2 and stays out of the general
+    // pool; the other is freed. The isolated node stays out entirely.
+    EXPECT_EQ(cluster.steering()->backupsAvailable(), 2u);
+    EXPECT_EQ(cluster.freeNodes(), freeBefore + 1);
+    EXPECT_EQ(cluster.jobCount(), 0u);
+}
+
 TEST(Experiment, AllreduceTaskRunsToCompletion)
 {
     ClusterConfig cc;

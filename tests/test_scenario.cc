@@ -191,6 +191,28 @@ TEST(Registry, DuplicateAndAnonymousNamesRejected)
     EXPECT_THROW(registry.add(noVariants), std::invalid_argument);
 }
 
+TEST(Registry, AddOrReplaceShadowsExistingRegistration)
+{
+    Registry &registry = Registry::instance();
+    EXPECT_FALSE(
+        registry.addOrReplace(tinyScenario("test_registry_shadow")));
+    const std::size_t count = registry.size();
+
+    Scenario replacement = tinyScenario("test_registry_shadow");
+    replacement.title = "replaced";
+    EXPECT_TRUE(registry.addOrReplace(replacement));
+    EXPECT_EQ(registry.size(), count); // replaced, not appended
+
+    const Scenario *found = registry.find("test_registry_shadow");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->title, "replaced");
+
+    Scenario noVariants;
+    noVariants.name = "test_registry_shadow";
+    EXPECT_THROW(registry.addOrReplace(noVariants),
+                 std::invalid_argument);
+}
+
 // --- runner resolution ------------------------------------------------
 
 TEST(Runner, ResolvesTrialsAndSeedFromScenario)

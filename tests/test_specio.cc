@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the spec-file subsystem: JSON parsing errors carry
+ * line/column and survive fuzz-ish inputs, the binder catches typos
+ * and type mistakes, dump -> parse -> re-dump is byte-identical for
+ * every registered scenario (this binary links the full c4bench
+ * registration set), and a file-loaded spec produces CSV output
+ * byte-identical to its built-in twin.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "specio/specio.h"
+
+namespace c4::specio {
+namespace {
+
+using scenario::Registry;
+using scenario::RunOptions;
+using scenario::Scenario;
+using scenario::ScenarioRunner;
+
+/** Smallest document the binder accepts. */
+std::string
+minimalSpec(const std::string &variantBody = "\"variant\": \"v\"")
+{
+    return "{\"scenario\": \"t\", \"variants\": [{" + variantBody +
+           "}]}";
+}
+
+// --- JSON layer -------------------------------------------------------
+
+TEST(Json, ReportsLineAndColumn)
+{
+    try {
+        parseJson("{\n  \"a\": 1,\n  \"b\": }\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_EQ(e.column(), 8);
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Json, RejectsDuplicateKeys)
+{
+    try {
+        parseJson("{\"tasks\": 1,\n \"tasks\": 2}");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate key"),
+                  std::string::npos);
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Json, RejectsOutOfRangeNumbers)
+{
+    EXPECT_THROW(parseJson("{\"x\": 1e999}"), SpecError);
+    EXPECT_THROW(parseJson("{\"x\": -1e999}"), SpecError);
+    EXPECT_THROW(formatJsonDouble(
+                     std::numeric_limits<double>::infinity()),
+                 SpecError);
+}
+
+TEST(Json, StrictAboutLeadingZerosAndControlCharacters)
+{
+    EXPECT_THROW(parseJson("{\"x\": 01}"), SpecError);
+    EXPECT_THROW(parseJson("{\"x\": -01.5}"), SpecError);
+    EXPECT_EQ(parseJson("{\"x\": 0.5}").find("x")->value.number, 0.5);
+    EXPECT_EQ(parseJson("{\"x\": 0}").find("x")->value.integer, 0);
+    EXPECT_THROW(parseJson("{\"x\": \"a\tb\"}"), SpecError);
+    EXPECT_EQ(parseJson("{\"x\": \"a\\tb\"}").find("x")->value.string,
+              "a\tb");
+}
+
+TEST(Json, RejectsTrailingContent)
+{
+    EXPECT_THROW(parseJson("{} {}"), SpecError);
+    EXPECT_THROW(parseJson("null null"), SpecError);
+}
+
+TEST(Json, ParsesEscapesAndNumbers)
+{
+    const Json doc = parseJson(
+        "{\"s\": \"a\\n\\u0041\", \"i\": -42, \"d\": 2.5e2}");
+    EXPECT_EQ(doc.find("s")->value.string, "a\nA");
+    EXPECT_EQ(doc.find("i")->value.integer, -42);
+    EXPECT_DOUBLE_EQ(doc.find("d")->value.number, 250.0);
+}
+
+TEST(Json, WriterIsStableUnderReparse)
+{
+    const std::string text = writeJson(parseJson(
+        "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": true}, "
+        "\"d\": null}"));
+    EXPECT_EQ(writeJson(parseJson(text)), text);
+}
+
+// --- binder errors ----------------------------------------------------
+
+TEST(SpecParse, UnknownKeySuggestsNearest)
+{
+    try {
+        parseSpecFile(minimalSpec(
+            "\"variant\": \"v\", \"topology\": "
+            "{\"oversubscripton\": 2.0}"));
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown key \"oversubscripton\""),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("did you mean \"oversubscription\"?"),
+                  std::string::npos)
+            << what;
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+TEST(SpecParse, UnknownKeyWithoutNeighborGetsNoSuggestion)
+{
+    try {
+        parseSpecFile(
+            minimalSpec("\"variant\": \"v\", \"zzz_qqq\": 1"));
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown key \"zzz_qqq\""),
+                  std::string::npos);
+        EXPECT_EQ(what.find("did you mean"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(SpecParse, WrongTypeNamesBothKinds)
+{
+    try {
+        parseSpecFile(minimalSpec(
+            "\"variant\": \"v\", \"allreduces\": "
+            "[{\"tasks\": \"three\"}]"));
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("\"tasks\" must be a integer"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("not string"), std::string::npos) << what;
+    }
+}
+
+TEST(SpecParse, BadEnumListsAllowedValues)
+{
+    try {
+        parseSpecFile(minimalSpec(
+            "\"variant\": \"v\", \"topology\": "
+            "{\"kind\": \"mesh\"}"));
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("\"mesh\""), std::string::npos);
+        EXPECT_NE(what.find("\"testbed\""), std::string::npos) << what;
+        EXPECT_NE(what.find("\"pod\""), std::string::npos) << what;
+    }
+}
+
+TEST(SpecParse, RequiresScenarioNameAndVariants)
+{
+    EXPECT_THROW(parseSpecFile("{\"variants\": [{}]}"), SpecError);
+    EXPECT_THROW(parseSpecFile("{\"scenario\": \"x\"}"), SpecError);
+    EXPECT_THROW(
+        parseSpecFile("{\"scenario\": \"x\", \"variants\": []}"),
+        SpecError);
+    EXPECT_THROW(
+        parseSpecFile("{\"scenario\": \"no spaces\", "
+                      "\"variants\": [{}]}"),
+        SpecError);
+}
+
+TEST(SpecParse, DuplicateVariantLabelsRejected)
+{
+    try {
+        parseSpecFile("{\"scenario\": \"t\", \"variants\": "
+                      "[{\"variant\": \"v\"},\n"
+                      "{\"variant\": \"v\"}]}");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("duplicate variant label \"v\""),
+                  std::string::npos);
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(SpecParse, SeedAcceptsHexStringAndInteger)
+{
+    const std::string base = "{\"scenario\": \"t\", \"seed\": ";
+    const std::string tail = ", \"variants\": [{}]}";
+    EXPECT_EQ(parseSpecFile(base + "\"0xAB\"" + tail).seed, 0xABu);
+    EXPECT_EQ(parseSpecFile(base + "77" + tail).seed, 77u);
+    // Decimal, never octal — and no whitespace/sign sneaking past.
+    EXPECT_EQ(parseSpecFile(base + "\"077\"" + tail).seed, 77u);
+    EXPECT_THROW(parseSpecFile(base + "\" 5\"" + tail), SpecError);
+    EXPECT_THROW(parseSpecFile(base + "\"-5\"" + tail), SpecError);
+    EXPECT_THROW(parseSpecFile(base + "\"wat\"" + tail), SpecError);
+    EXPECT_THROW(parseSpecFile(base + "-1" + tail), SpecError);
+}
+
+TEST(SpecParse, InvalidWorkloadFailsValidation)
+{
+    // Binder-clean but semantically invalid: campaign without a span.
+    try {
+        parseSpecFile(minimalSpec(
+            "\"variant\": \"v\", \"campaign\": "
+            "{\"enabled\": true}"));
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("span"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpecParse, ExactSecondsSurviveTheDecimalEncoding)
+{
+    const SpecFile file = parseSpecFile(minimalSpec(
+        "\"variant\": \"v\", \"horizon_s\": 0.123456789, "
+        "\"metrics\": {\"split_at_s\": 1e-3}"));
+    EXPECT_EQ(file.variants[0].horizon, 123456789);
+    EXPECT_EQ(file.variants[0].metrics.splitAt, milliseconds(1));
+}
+
+TEST(SpecParse, TruncatedDocumentsAlwaysErrorCleanly)
+{
+    // A document exercising every section of the schema.
+    const std::string text = writeSpecFile(parseSpecFile(
+        "{\"scenario\": \"fuzz\", \"title\": \"t\", "
+        "\"full_trials\": 3, \"seed\": \"0xF00\", \"variants\": [{"
+        "\"variant\": \"v\", "
+        "\"topology\": {\"kind\": \"pod\", \"num_nodes\": 32}, "
+        "\"features\": {\"c4p\": true, \"c4d\": true, "
+        "\"evaluate_period_s\": 2.5}, "
+        "\"jobs\": [{\"id\": 3, \"model\": \"gpt22b\", "
+        "\"parallel\": {\"tp\": 8, \"dp\": 4}, \"nodes\": [0, 1, 2, "
+        "3]}], "
+        "\"allreduces\": [{\"tasks\": 2, \"bytes\": 1048576}], "
+        "\"link_events\": [{\"at_s\": 1, \"plane\": \"right\"}], "
+        "\"faults\": [{\"at_s\": 2, \"type\": \"slow_node\", "
+        "\"node\": 5, \"severity\": 4.0}], "
+        "\"campaign\": {\"enabled\": true, \"span_s\": 60}, "
+        "\"metrics\": {\"steering_counters\": true}, "
+        "\"horizon_s\": 120}]}"));
+    // Every proper prefix (up to the final '}') must throw SpecError —
+    // never crash, never silently succeed.
+    for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+        EXPECT_THROW(parseSpecFile(text.substr(0, len)), SpecError)
+            << "prefix length " << len;
+    }
+}
+
+TEST(SpecParse, CustomVariantLoadsButRefusesToRun)
+{
+    const SpecFile file = parseSpecFile(
+        minimalSpec("\"variant\": \"v\", \"custom\": true"));
+    ASSERT_TRUE(static_cast<bool>(file.variants[0].custom));
+    RunOptions opt;
+    scenario::TrialContext ctx(opt, 1, 0);
+    EXPECT_THROW(file.variants[0].custom(ctx), std::runtime_error);
+}
+
+// --- round-trip over the full registration set ------------------------
+// These need the c4bench registrations linked in (the
+// c4bench_scenarios object library, C4_HAVE_BENCH_SCENARIOS).
+
+#ifdef C4_HAVE_BENCH_SCENARIOS
+
+TEST(SpecRoundTrip, EveryRegisteredScenarioIsByteStable)
+{
+    const auto all = Registry::instance().all();
+    ASSERT_GE(all.size(), 14u);
+    for (bool smoke : {true, false}) {
+        RunOptions opt;
+        opt.smoke = smoke;
+        for (const Scenario *s : all) {
+            opt.trials = smoke ? s->smokeTrials : s->fullTrials;
+            opt.seed = s->seed;
+            opt.seedSet = true;
+            const std::string once =
+                writeSpecFile(specFromScenario(*s, opt));
+            SpecFile reloaded;
+            ASSERT_NO_THROW(reloaded = parseSpecFile(once))
+                << s->name;
+            const std::string twice = writeSpecFile(
+                specFromScenario(scenarioFromSpec(reloaded), opt));
+            EXPECT_EQ(once, twice)
+                << s->name << (smoke ? " (smoke)" : " (full)");
+        }
+    }
+}
+
+// --- file-loaded twin produces identical CSV --------------------------
+
+TEST(SpecRoundTrip, LoadedSpecCsvMatchesBuiltinByteForByte)
+{
+    const Scenario *builtin =
+        Registry::instance().find("fig9_dualport");
+    ASSERT_NE(builtin, nullptr);
+
+    RunOptions opt;
+    opt.smoke = true;
+    opt.trials = 1;
+    opt.threads = 1;
+
+    const Scenario loaded = scenarioFromSpec(parseSpecFile(
+        writeSpecFile(specFromScenario(*builtin, opt))));
+
+    auto runCsv = [&](const Scenario &s) {
+        std::ostringstream out;
+        scenario::CsvSink sink(out);
+        ScenarioRunner runner(opt);
+        runner.addSink(sink);
+        EXPECT_EQ(runner.run(s), 0);
+        return out.str();
+    };
+    const std::string builtinCsv = runCsv(*builtin);
+    const std::string loadedCsv = runCsv(loaded);
+    EXPECT_FALSE(builtinCsv.empty());
+    EXPECT_EQ(builtinCsv, loadedCsv);
+}
+
+#endif // C4_HAVE_BENCH_SCENARIOS
+
+} // namespace
+} // namespace c4::specio
