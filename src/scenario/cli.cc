@@ -44,7 +44,9 @@ usage(const char *argv0)
         "  --threads N    parallel trial workers (default: hardware)\n"
         "  --seed S       base seed (decimal or 0x hex)\n"
         "  --csv FILE     write per-trial rows as CSV (one file can\n"
-        "                 hold all scenarios of one invocation)\n"
+        "                 hold all scenarios of one invocation);\n"
+        "                 FILE '-' streams CSV to stdout for piping\n"
+        "                 and suppresses the table\n"
         "  --json FILE    write results as JSON\n"
         "  --list         list registered scenarios and exit\n"
         "  --all          run every registered scenario\n"
@@ -57,13 +59,6 @@ usage(const char *argv0)
         "                 exit; variants are frozen under the other\n"
         "                 flags (--smoke, --trials, --seed)\n",
         argv0, argv0, argv0, argv0);
-}
-
-bool
-looksLikeSpecPath(const char *arg)
-{
-    const std::size_t n = std::strlen(arg);
-    return n > 5 && std::strcmp(arg + n - 5, ".json") == 0;
 }
 
 void
@@ -82,8 +77,10 @@ splitCommaList(const std::string &list, std::vector<std::string> &out)
     }
 }
 
+} // namespace
+
 bool
-parseInt(const char *s, int &out)
+parseCliInt(const char *s, int &out)
 {
     char *end = nullptr;
     const long v = std::strtol(s, &end, 10);
@@ -94,7 +91,7 @@ parseInt(const char *s, int &out)
 }
 
 bool
-parseSeed(const char *s, std::uint64_t &out)
+parseCliSeed(const char *s, std::uint64_t &out)
 {
     // Hex with an explicit 0x prefix, otherwise decimal — never
     // octal, matching spec-file "seed" strings, so a seed copied
@@ -113,7 +110,12 @@ parseSeed(const char *s, std::uint64_t &out)
     return errno == 0;
 }
 
-} // namespace
+bool
+looksLikeSpecPath(const char *arg)
+{
+    const std::size_t n = std::strlen(arg);
+    return n > 5 && std::strcmp(arg + n - 5, ".json") == 0;
+}
 
 void
 setSpecCliHooks(SpecCliHooks hooks)
@@ -149,19 +151,19 @@ scenarioMain(int argc, char **argv)
             all = true;
         } else if (std::strcmp(arg, "--trials") == 0) {
             const char *v = value("--trials");
-            if (!v || !parseInt(v, opt.trials)) {
+            if (!v || !parseCliInt(v, opt.trials)) {
                 usage(argv[0]);
                 return 2;
             }
         } else if (std::strcmp(arg, "--threads") == 0) {
             const char *v = value("--threads");
-            if (!v || !parseInt(v, opt.threads)) {
+            if (!v || !parseCliInt(v, opt.threads)) {
                 usage(argv[0]);
                 return 2;
             }
         } else if (std::strcmp(arg, "--seed") == 0) {
             const char *v = value("--seed");
-            if (!v || !parseSeed(v, opt.seed)) {
+            if (!v || !parseCliSeed(v, opt.seed)) {
                 usage(argv[0]);
                 return 2;
             }
@@ -281,15 +283,23 @@ scenarioMain(int argc, char **argv)
         return 2;
     }
 
+    // `--csv -` hands stdout to the CSV stream (shard workers pipe
+    // results to their parent), so everything else that normally goes
+    // to stdout — the banner and the table — must move or go away.
+    const bool csvToStdout = csvPath == "-";
     if (opt.smoke) {
-        std::printf("[smoke] reduced trials/iterations/horizons; "
-                    "numbers are not paper-comparable\n");
+        std::fprintf(csvToStdout ? stderr : stdout,
+                     "[smoke] reduced trials/iterations/horizons; "
+                     "numbers are not paper-comparable\n");
     }
 
     std::ofstream csvFile, jsonFile;
     std::vector<std::unique_ptr<ResultSink>> sinks;
-    sinks.push_back(std::make_unique<TableSink>(std::cout));
-    if (!csvPath.empty()) {
+    if (!csvToStdout)
+        sinks.push_back(std::make_unique<TableSink>(std::cout));
+    if (csvToStdout) {
+        sinks.push_back(std::make_unique<CsvSink>(std::cout));
+    } else if (!csvPath.empty()) {
         csvFile.open(csvPath);
         if (!csvFile) {
             std::fprintf(stderr, "cannot open '%s'\n",

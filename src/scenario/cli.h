@@ -51,6 +51,24 @@ struct SpecCliHooks
 /** Install the --spec / --dump-spec handlers (see SpecCliHooks). */
 void setSpecCliHooks(SpecCliHooks hooks);
 
+/** @name Shared CLI value grammar
+ * One definition for every binary that takes scenario options
+ * (c4bench, c4sweep), so a value copied between their command lines
+ * means the same run.
+ * @{ */
+
+/** Strict positive integer in [1, 1'000'000]. */
+bool parseCliInt(const char *s, int &out);
+
+/** Seed: decimal, or hex with an explicit 0x prefix — never octal,
+ * matching spec-file "seed" strings. */
+bool parseCliSeed(const char *s, std::uint64_t &out);
+
+/** True when @p arg names a spec file (ends in ".json"). */
+bool looksLikeSpecPath(const char *arg);
+
+/** @} */
+
 /**
  * Parse argv, resolve scenarios against the registry, and run them.
  * @return process exit code (0 ok, 1 run failure, 2 usage error).

@@ -43,6 +43,18 @@ struct Scenario
     std::uint64_t seed = 0xC4C10C4Dull;
 
     /**
+     * Trial shard: execute only trials [trialBegin, trialBegin +
+     * trialCount) of the resolved sweep (trialCount 0 = through the
+     * last trial). Trial indices and per-trial seeds stay ABSOLUTE, so
+     * a shard's results are byte-identical to the same rows of the
+     * unsharded run — the property the c4sweep plan/run/merge pipeline
+     * is built on. Set from the `trial_begin` / `trial_count` spec
+     * keys; built-in registrations keep the full range.
+     */
+    int trialBegin = 0;
+    int trialCount = 0;
+
+    /**
      * Produce the variant specs for a run. Must be a pure function of
      * the options (the runner may call it more than once).
      */

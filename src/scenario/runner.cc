@@ -64,8 +64,23 @@ ScenarioRunner::run(const Scenario &scenario)
         }
     }
 
+    // Shard support: only trials [trialBegin, trialBegin + count) of
+    // the resolved sweep execute, but the trial indices handed to
+    // trialSeed() (and reported in results) stay absolute, so shard
+    // output is byte-identical to the same rows of the full run.
+    const std::string badRange = validateTrialRange(
+        scenario.trialBegin, scenario.trialCount, opt.trials);
+    if (!badRange.empty()) {
+        std::fprintf(stderr, "scenario '%s': %s\n",
+                     scenario.name.c_str(), badRange.c_str());
+        return 1;
+    }
+    const int trialCount = scenario.trialCount > 0
+                               ? scenario.trialCount
+                               : opt.trials - scenario.trialBegin;
+
     const std::size_t items = variants.size() *
-                              static_cast<std::size_t>(opt.trials);
+                              static_cast<std::size_t>(trialCount);
     std::vector<TrialResult> results(items);
     std::vector<std::exception_ptr> errors(items);
     std::atomic<std::size_t> next{0};
@@ -77,10 +92,11 @@ ScenarioRunner::run(const Scenario &scenario)
             if (i >= items)
                 return;
             const std::size_t v =
-                i / static_cast<std::size_t>(opt.trials);
+                i / static_cast<std::size_t>(trialCount);
             const int trial =
-                static_cast<int>(i %
-                                 static_cast<std::size_t>(opt.trials));
+                scenario.trialBegin +
+                static_cast<int>(
+                    i % static_cast<std::size_t>(trialCount));
             const ScenarioSpec &spec = variants[v];
             TrialContext ctx(opt, trialSeed(opt.seed, trial), trial);
             try {
@@ -130,11 +146,14 @@ ScenarioRunner::run(const Scenario &scenario)
         }
         std::fprintf(
             stderr,
-            "scenario '%s' variant '%s' trial %zu failed: %s\n",
+            "scenario '%s' variant '%s' trial %d failed: %s\n",
             scenario.name.c_str(),
-            variants[i / static_cast<std::size_t>(opt.trials)]
+            variants[i / static_cast<std::size_t>(trialCount)]
                 .variant.c_str(),
-            i % static_cast<std::size_t>(opt.trials), what.c_str());
+            scenario.trialBegin +
+                static_cast<int>(
+                    i % static_cast<std::size_t>(trialCount)),
+            what.c_str());
         return 1;
     }
 

@@ -12,6 +12,33 @@ knownModel(const std::string &model)
            model == "llama7b" || model == "llama13b";
 }
 
+std::string
+validateTrialRange(int begin, int count, int totalTrials)
+{
+    std::ostringstream os;
+    if (begin < 0) {
+        os << "trial_begin must be >= 0, not " << begin;
+        return os.str();
+    }
+    if (count < 0) {
+        os << "trial_count must not be negative (0 means through "
+              "the last trial), not "
+           << count;
+        return os.str();
+    }
+    if (begin >= totalTrials) {
+        os << "trial_begin " << begin << " is out of range for a "
+           << totalTrials << "-trial sweep";
+        return os.str();
+    }
+    if (count > 0 && begin + count > totalTrials) {
+        os << "trial range [" << begin << ", " << begin + count
+           << ") overflows the " << totalTrials << "-trial sweep";
+        return os.str();
+    }
+    return "";
+}
+
 namespace {
 
 std::string

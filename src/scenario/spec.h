@@ -227,6 +227,16 @@ std::string validateSpec(const ScenarioSpec &spec);
 /** True if `model` names a known model preset. */
 bool knownModel(const std::string &model);
 
+/**
+ * Validate a shard trial range against a sweep of @p totalTrials
+ * trials. @p count 0 means "through the last trial". Returns an empty
+ * string when the range is runnable, otherwise the error: a negative
+ * bound, a begin at or past the sweep end, or a range overflowing it.
+ * Shared by the runner (against the resolved trial count) and the
+ * spec-file binder (against the counts stored in the file).
+ */
+std::string validateTrialRange(int begin, int count, int totalTrials);
+
 } // namespace c4::scenario
 
 #endif // C4_SCENARIO_SPEC_H

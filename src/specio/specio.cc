@@ -1141,6 +1141,8 @@ specFromScenario(const Scenario &scenario, const RunOptions &opt)
     if (opt.trials > 0) {
         (opt.smoke ? file.smokeTrials : file.fullTrials) = opt.trials;
     }
+    file.trialBegin = scenario.trialBegin;
+    file.trialCount = scenario.trialCount;
     file.variants = scenario.variants(opt);
     return file;
 }
@@ -1156,6 +1158,8 @@ scenarioFromSpec(const SpecFile &file)
     s.fullTrials = file.fullTrials;
     s.smokeTrials = file.smokeTrials;
     s.serialTrials = file.serialTrials;
+    s.trialBegin = file.trialBegin;
+    s.trialCount = file.trialCount;
     s.seed = file.seed;
     s.variants = [variants = file.variants](const RunOptions &) {
         return variants;
@@ -1180,6 +1184,10 @@ writeSpecFile(const SpecFile &file)
         add(doc, "smoke_trials", jsonInt(file.smokeTrials));
     if (file.serialTrials)
         add(doc, "serial_trials", jsonBool(true));
+    if (file.trialBegin != 0)
+        add(doc, "trial_begin", jsonInt(file.trialBegin));
+    if (file.trialCount != 0)
+        add(doc, "trial_count", jsonInt(file.trialCount));
     add(doc, "seed", jsonSeed(file.seed));
     Json variants;
     variants.kind = Json::Kind::Array;
@@ -1207,6 +1215,8 @@ parseSpecFile(const std::string &text)
     b.get("full_trials", file.fullTrials);
     b.get("smoke_trials", file.smokeTrials);
     b.get("serial_trials", file.serialTrials);
+    b.get("trial_begin", file.trialBegin);
+    b.get("trial_count", file.trialCount);
     b.getSeed("seed", file.seed);
     const Json *variants = b.member("variants");
     if (!variants || variants->kind != Json::Kind::Array ||
@@ -1219,6 +1229,15 @@ parseSpecFile(const std::string &text)
         throw SpecError("trial counts must be >= 1", doc.line,
                         doc.column);
     }
+    // Shard range sanity against the file's own sweep width. The
+    // runner re-validates against whatever trial count is actually in
+    // effect (--trials can override), so this catches authoring
+    // mistakes early, with the file's line info.
+    const std::string badRange = scenario::validateTrialRange(
+        file.trialBegin, file.trialCount,
+        std::max(file.fullTrials, file.smokeTrials));
+    if (!badRange.empty())
+        throw SpecError(badRange, doc.line, doc.column);
     for (std::size_t i = 0; i < variants->array.size(); ++i) {
         const Json &v = variants->array[i];
         ScenarioSpec spec;

@@ -45,6 +45,12 @@ struct SpecFile
     int fullTrials = 1;
     int smokeTrials = 1;
     bool serialTrials = false;
+
+    /** Shard trial range (`trial_begin` / `trial_count` keys); the
+     * default covers the whole sweep. See Scenario::trialBegin. */
+    int trialBegin = 0;
+    int trialCount = 0;
+
     std::uint64_t seed = 0xC4C10C4Dull;
     std::vector<scenario::ScenarioSpec> variants;
 };

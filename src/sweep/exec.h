@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The campaign executor: runs the pending shards of a planned
+ * campaign as child `c4bench --spec shard.json --csv -` processes
+ * (stdout redirected into the shard CSV, stderr into the shard log)
+ * under a fixed-size worker pool.
+ *
+ * Every state transition is journaled to the manifest before and
+ * after the child runs, so killing the executor mid-campaign loses at
+ * most the in-flight shards: a re-run resets interrupted `running`
+ * shards to `pending` and skips everything already `done`. A non-zero
+ * child is retried up to the attempt budget, then parked as `failed`
+ * with its log intact.
+ */
+
+#ifndef C4_SWEEP_EXEC_H
+#define C4_SWEEP_EXEC_H
+
+#include <iosfwd>
+#include <string>
+
+namespace c4::sweep {
+
+/** What `c4sweep run` collected from its command line. */
+struct ExecRequest
+{
+    std::string dir;   ///< planned campaign directory
+    std::string bench; ///< c4bench to exec; empty = sibling of c4sweep
+
+    /** Concurrent shard children. Each child additionally runs its
+     * own trial-sweep threads; 1 is the safe default on small CI
+     * boxes. */
+    int workers = 1;
+
+    /** Total executions allowed per shard (first run + retries). */
+    int maxAttempts = 2;
+
+    /** Execute at most this many shards this invocation (0 = all) —
+     * incremental campaigns and deterministic resume testing. */
+    int maxShards = 0;
+};
+
+/** What one `c4sweep run` invocation did. */
+struct ExecStats
+{
+    int executed = 0;  ///< shards brought to done this invocation
+    int skipped = 0;   ///< shards already done at load
+    int failed = 0;    ///< shards parked as failed
+    int remaining = 0; ///< shards still pending on exit
+};
+
+/**
+ * Execute the campaign's pending shards.
+ * @return "" on success (even with failed shards — see @p stats),
+ *         otherwise an infrastructure error (missing manifest or
+ *         bench binary); progress goes to @p diag.
+ */
+std::string runCampaign(const ExecRequest &request, ExecStats &stats,
+                        std::ostream &diag);
+
+/** `<dir-of-this-executable>/c4bench` — the build-tree default. */
+std::string siblingBenchPath();
+
+} // namespace c4::sweep
+
+#endif // C4_SWEEP_EXEC_H

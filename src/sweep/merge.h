@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic CSV merge: stitch the shard CSVs of a completed
+ * campaign into output byte-identical to what one
+ * `c4bench <scenarios...> --threads 1 --csv out.csv` process would
+ * have written.
+ *
+ * The single-process CSV is one header plus, per scenario in run
+ * order, rows in variant-major order (all trials of variant 0, then
+ * variant 1, ...). Each shard CSV holds the same variant-major order
+ * restricted to its trial range, so the merge interleaves: for every
+ * variant (order read from the shard spec file — the same order the
+ * runner used), concatenate each shard's rows for that variant with
+ * shards sorted by trial range. Raw CSV lines are copied through
+ * untouched; the merger parses fields only to classify rows, never to
+ * re-format them.
+ *
+ * The merge refuses to run on anything questionable: shards not done,
+ * ranges that overlap or leave trials uncovered, mismatched headers,
+ * or rows naming an unknown variant.
+ */
+
+#ifndef C4_SWEEP_MERGE_H
+#define C4_SWEEP_MERGE_H
+
+#include <iosfwd>
+#include <string>
+
+namespace c4::sweep {
+
+/**
+ * Merge the campaign in @p dir into @p outCsv ("-" = stdout).
+ * @return "" on success, otherwise the error; progress to @p diag.
+ */
+std::string mergeCampaign(const std::string &dir,
+                          const std::string &outCsv,
+                          std::ostream &diag);
+
+} // namespace c4::sweep
+
+#endif // C4_SWEEP_MERGE_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The shard planner: splits the trial sweeps of registered scenarios
+ * (and/or spec files from disk) into per-shard spec files plus a
+ * campaign manifest.
+ *
+ * A shard is a contiguous trial range of one scenario, frozen as a
+ * complete spec file (variants evaluated under the planned --smoke /
+ * --trials / --seed, both trial counts pinned to the planned sweep
+ * width, `trial_begin`/`trial_count` marking the range). Because
+ * per-trial seeds depend only on (base seed, absolute trial index),
+ * any process — this host or another — that runs
+ * `c4bench --spec shard.json --csv shard.csv` produces exactly the
+ * rows the unsharded run would have produced for those trials, which
+ * is what lets `c4sweep merge` reassemble a byte-identical CSV.
+ *
+ * Balanced partitioning: trials split as evenly as possible across the
+ * requested shard count (the first `trials % shards` shards take one
+ * extra trial), the classic static load-balance for embarrassingly
+ * parallel sweeps.
+ */
+
+#ifndef C4_SWEEP_PLAN_H
+#define C4_SWEEP_PLAN_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/options.h"
+
+namespace c4::sweep {
+
+/** What `c4sweep plan` collected from its command line. */
+struct PlanRequest
+{
+    /** Registered scenario names, or `.json` spec-file paths (loaded
+     * and registered exactly like `c4bench --spec`). */
+    std::vector<std::string> targets;
+
+    /** Campaign directory to create (shards/, csv/, logs/, and
+     * manifest.json live under it). */
+    std::string dir;
+
+    /** Shards per scenario; trimmed when a scenario has fewer trials
+     * than shards. Ignored when trialsPerShard is set. */
+    int shards = 4;
+
+    /** Alternative sizing: fixed trials per shard (last one ragged). */
+    int trialsPerShard = 0;
+
+    /** Options frozen into every shard spec (--smoke/--trials/--seed).
+     * threads is deliberately NOT recorded: shard output is
+     * byte-identical for any worker-thread count. */
+    scenario::RunOptions opt;
+};
+
+/**
+ * Plan a campaign: write the `<dir>/shards/` spec files and
+ * `<dir>/manifest.json`. Scenarios with a custom (code-defined)
+ * executor cannot run from spec files and are rejected.
+ * @return "" on success, otherwise the error; progress goes to @p diag.
+ */
+std::string planCampaign(const PlanRequest &request,
+                         std::ostream &diag);
+
+} // namespace c4::sweep
+
+#endif // C4_SWEEP_PLAN_H

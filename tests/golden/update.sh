@@ -1,12 +1,18 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate the golden smoke CSVs (tests/golden/<scenario>.csv) from
 # a built c4bench. Run after an INTENTIONAL metric change, eyeball the
 # diff, and commit the result; `ctest -L golden` byte-compares against
 # these files.
 #
 # usage: tests/golden/update.sh [path/to/c4bench]
-set -e
+set -euo pipefail
 bench=${1:-build/bench/c4bench}
+if [ ! -x "$bench" ]; then
+    echo "error: no executable c4bench at '$bench'" >&2
+    echo "build it first (cmake --build build) or pass the path:" >&2
+    echo "  tests/golden/update.sh path/to/c4bench" >&2
+    exit 1
+fi
 dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 "$bench" --list | while read -r name _; do
     case $name in

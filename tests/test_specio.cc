@@ -263,6 +263,96 @@ TEST(SpecParse, TruncatedDocumentsAlwaysErrorCleanly)
     }
 }
 
+// --- shard trial-range keys (trial_begin / trial_count) ---------------
+
+TEST(SpecParse, TrialRangeKeysBindAndRoundTripByteStably)
+{
+    const std::string text = writeSpecFile(parseSpecFile(
+        "{\"scenario\": \"t\", \"full_trials\": 8, "
+        "\"smoke_trials\": 8, \"trial_begin\": 2, "
+        "\"trial_count\": 3, \"variants\": [{\"variant\": \"v\"}]}"));
+    const SpecFile file = parseSpecFile(text);
+    EXPECT_EQ(file.trialBegin, 2);
+    EXPECT_EQ(file.trialCount, 3);
+    // Canonical dump carries the keys and is stable under re-parse.
+    EXPECT_NE(text.find("\"trial_begin\": 2"), std::string::npos);
+    EXPECT_NE(text.find("\"trial_count\": 3"), std::string::npos);
+    EXPECT_EQ(text, writeSpecFile(parseSpecFile(text)));
+    // The bound scenario carries the range into the runner.
+    const Scenario s = scenarioFromSpec(file);
+    EXPECT_EQ(s.trialBegin, 2);
+    EXPECT_EQ(s.trialCount, 3);
+}
+
+TEST(SpecParse, UnshardedSpecsOmitTrialRangeKeys)
+{
+    const SpecFile file = parseSpecFile(minimalSpec());
+    EXPECT_EQ(file.trialBegin, 0);
+    EXPECT_EQ(file.trialCount, 0);
+    const std::string text = writeSpecFile(file);
+    EXPECT_EQ(text.find("trial_begin"), std::string::npos);
+    EXPECT_EQ(text.find("trial_count"), std::string::npos);
+}
+
+TEST(SpecParse, NegativeTrialRangeRejected)
+{
+    const std::string head = "{\"scenario\": \"t\", "
+                             "\"full_trials\": 8, ";
+    const std::string tail = "\"variants\": [{}]}";
+    try {
+        parseSpecFile(head + "\"trial_begin\": -1, " + tail);
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("trial_begin must be >= 0"),
+                  std::string::npos);
+    }
+    try {
+        parseSpecFile(head + "\"trial_count\": -2, " + tail);
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("trial_count must not be negative"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpecParse, TrialRangeBeginPastSweepEndRejected)
+{
+    // trial_begin at (or past) the sweep width: out of range even
+    // with no count.
+    try {
+        parseSpecFile("{\"scenario\": \"t\", \"full_trials\": 4, "
+                      "\"trial_begin\": 4, \"variants\": [{}]}");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpecParse, TrialRangeOverlappingSweepEndRejected)
+{
+    // A count reaching past the last trial would overlap trials the
+    // sweep does not have.
+    try {
+        parseSpecFile("{\"scenario\": \"t\", \"full_trials\": 4, "
+                      "\"trial_begin\": 2, \"trial_count\": 3, "
+                      "\"variants\": [{}]}");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("overflows"),
+                  std::string::npos);
+    }
+    // The range is validated against the wider of the two trial
+    // counts, so a shard planned for the full sweep still loads when
+    // smoke_trials is smaller (the runner re-checks at run time).
+    EXPECT_NO_THROW(parseSpecFile(
+        "{\"scenario\": \"t\", \"full_trials\": 8, "
+        "\"smoke_trials\": 2, \"trial_begin\": 4, "
+        "\"trial_count\": 4, \"variants\": [{}]}"));
+}
+
 TEST(SpecParse, CustomVariantLoadsButRefusesToRun)
 {
     const SpecFile file = parseSpecFile(

@@ -1,0 +1,566 @@
+/**
+ * @file
+ * Distributed-sweep subsystem: shard trial ranges through the runner
+ * (absolute trial indices, byte-identical rows), manifest journaling
+ * round-trips, the planner's balanced partitions, the process
+ * executor's retry/resume state machine (driven through a fake bench
+ * script), and the merger's determinism and refusal paths. The
+ * end-to-end gate over the real c4bench binary lives in
+ * cmake/sweep_check.cmake (ctest -L sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "specio/specio.h"
+#include "sweep/exec.h"
+#include "sweep/manifest.h"
+#include "sweep/merge.h"
+#include "sweep/plan.h"
+
+namespace c4::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+using scenario::RunOptions;
+using scenario::Scenario;
+using scenario::ScenarioRunner;
+using scenario::ScenarioSpec;
+
+/** Fresh per-test scratch directory under the system temp dir. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / ("c4_sweep_test_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+void
+writeFile(const fs::path &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** A cheap two-variant allreduce scenario (same shape as the one in
+ * test_scenario.cc). */
+Scenario
+tinyScenario(const char *name)
+{
+    auto variant = [](const char *label, bool c4p) {
+        ScenarioSpec spec;
+        spec.variant = label;
+        spec.features.c4p = c4p;
+        scenario::AllreduceGroupSpec g;
+        g.tasks = 2;
+        g.bytes = mib(16);
+        g.iterations = 2;
+        spec.allreduces.push_back(g);
+        return spec;
+    };
+    Scenario sc;
+    sc.name = name;
+    sc.title = "tiny";
+    sc.fullTrials = 8;
+    sc.smokeTrials = 4;
+    sc.variants = [variant](const RunOptions &) {
+        return std::vector<ScenarioSpec>{variant("ecmp", false),
+                                         variant("c4p", true)};
+    };
+    return sc;
+}
+
+std::string
+runCsv(const Scenario &s, const RunOptions &opt)
+{
+    std::ostringstream out;
+    scenario::CsvSink sink(out);
+    ScenarioRunner runner(opt);
+    runner.addSink(sink);
+    EXPECT_EQ(runner.run(s), 0);
+    return out.str();
+}
+
+// --- trial ranges through the runner ----------------------------------
+
+TEST(TrialRange, Validation)
+{
+    using scenario::validateTrialRange;
+    EXPECT_EQ(validateTrialRange(0, 0, 4), "");
+    EXPECT_EQ(validateTrialRange(3, 1, 4), "");
+    EXPECT_EQ(validateTrialRange(1, 0, 4), ""); // to the end
+    EXPECT_NE(validateTrialRange(-1, 0, 4).find("trial_begin"),
+              std::string::npos);
+    EXPECT_NE(validateTrialRange(0, -1, 4).find("trial_count"),
+              std::string::npos);
+    EXPECT_NE(validateTrialRange(4, 0, 4).find("out of range"),
+              std::string::npos);
+    EXPECT_NE(validateTrialRange(2, 3, 4).find("overflows"),
+              std::string::npos);
+}
+
+TEST(TrialRange, ShardRowsAreByteIdenticalToTheFullRunsRows)
+{
+    const Scenario full = tinyScenario("shard_t");
+    RunOptions opt;
+    opt.trials = 4;
+    opt.threads = 1;
+    const std::string fullCsv = runCsv(full, opt);
+
+    Scenario shard = full;
+    shard.trialBegin = 1;
+    shard.trialCount = 2;
+    const std::string shardCsv = runCsv(shard, opt);
+
+    // The shard emits exactly the full run's rows for trials 1..2 —
+    // absolute trial indices, same derived seeds, same order.
+    std::string expected;
+    std::istringstream lines(fullCsv);
+    std::string line;
+    std::getline(lines, line); // header
+    expected = line + "\n";
+    while (std::getline(lines, line)) {
+        const auto fields = parseCsv(line);
+        ASSERT_EQ(fields.size(), 1u);
+        const int trial = std::atoi(fields[0][2].c_str());
+        if (trial >= 1 && trial < 3)
+            expected += line + "\n";
+    }
+    EXPECT_EQ(shardCsv, expected);
+}
+
+TEST(TrialRange, RunnerRejectsARangeOutsideTheSweep)
+{
+    Scenario shard = tinyScenario("shard_bad");
+    shard.trialBegin = 4;
+    RunOptions opt;
+    opt.trials = 4;
+    ScenarioRunner runner(opt);
+    EXPECT_EQ(runner.run(shard), 1);
+
+    shard.trialBegin = 2;
+    shard.trialCount = 3;
+    EXPECT_EQ(ScenarioRunner(opt).run(shard), 1);
+}
+
+// --- manifest ---------------------------------------------------------
+
+Manifest
+sampleManifest()
+{
+    Manifest m;
+    m.smoke = true;
+    m.scenarios.push_back({"t", 4});
+    for (int k = 0; k < 2; ++k) {
+        Shard s;
+        s.id = "t.s" + std::to_string(k);
+        s.scenario = "t";
+        s.spec = "shards/" + s.id + ".json";
+        s.csv = "csv/" + s.id + ".csv";
+        s.log = "logs/" + s.id + ".log";
+        s.trialBegin = k * 2;
+        s.trialCount = 2;
+        m.shards.push_back(s);
+    }
+    return m;
+}
+
+TEST(Manifest, RoundTripsByteStably)
+{
+    Manifest m = sampleManifest();
+    m.shards[0].status = ShardStatus::Done;
+    m.shards[0].attempts = 2;
+    m.shards[0].exitCode = 0;
+    const std::string once = writeManifest(m);
+    const Manifest reloaded = parseManifest(once);
+    EXPECT_EQ(writeManifest(reloaded), once);
+    EXPECT_EQ(reloaded.shards[0].status, ShardStatus::Done);
+    EXPECT_EQ(reloaded.shards[0].attempts, 2);
+    EXPECT_EQ(reloaded.shards[1].status, ShardStatus::Pending);
+    EXPECT_TRUE(reloaded.smoke);
+    ASSERT_EQ(reloaded.scenarios.size(), 1u);
+    EXPECT_EQ(reloaded.scenarios[0].trials, 4);
+}
+
+TEST(Manifest, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parseManifest("[]"), std::runtime_error);
+    EXPECT_THROW(parseManifest("{\"version\": 2, \"smoke\": false, "
+                               "\"scenarios\": [], \"shards\": []}"),
+                 std::runtime_error);
+    std::string bad = writeManifest(sampleManifest());
+    bad.replace(bad.find("pending"), 7, "paused!");
+    EXPECT_THROW(parseManifest(bad), std::runtime_error);
+}
+
+TEST(Manifest, SaveIsAtomicAndLoadable)
+{
+    const fs::path dir = scratchDir("manifest");
+    saveManifest(dir.string(), sampleManifest());
+    EXPECT_FALSE(fs::exists(dir / "manifest.json.tmp"));
+    const Manifest loaded = loadManifest(dir.string());
+    EXPECT_EQ(loaded.shards.size(), 2u);
+    EXPECT_THROW(loadManifest((dir / "nope").string()),
+                 std::runtime_error);
+}
+
+// --- planner ----------------------------------------------------------
+
+TEST(Plan, BalancedPartitionAndPinnedTrialCounts)
+{
+    scenario::Registry::instance().addOrReplace(
+        tinyScenario("sweep_plan_t"));
+    const fs::path dir = scratchDir("plan");
+    fs::remove_all(dir); // planner creates it
+
+    PlanRequest request;
+    request.targets = {"sweep_plan_t"};
+    request.dir = dir.string();
+    request.shards = 3;
+    request.opt.trials = 8;
+    std::ostringstream diag;
+    ASSERT_EQ(planCampaign(request, diag), "");
+
+    const Manifest m = loadManifest(dir.string());
+    ASSERT_EQ(m.scenarios.size(), 1u);
+    EXPECT_EQ(m.scenarios[0].trials, 8);
+    ASSERT_EQ(m.shards.size(), 3u);
+    // 8 trials over 3 shards: 3, 3, 2 — balanced, contiguous.
+    EXPECT_EQ(m.shards[0].trialCount, 3);
+    EXPECT_EQ(m.shards[1].trialCount, 3);
+    EXPECT_EQ(m.shards[2].trialCount, 2);
+    int cursor = 0;
+    for (const Shard &s : m.shards) {
+        EXPECT_EQ(s.trialBegin, cursor);
+        cursor += s.trialCount;
+        // Each shard spec reloads cleanly with the range bound and
+        // both trial counts pinned to the sweep width.
+        const specio::SpecFile file = specio::loadSpecFile(
+            campaignPath(dir.string(), s.spec));
+        EXPECT_EQ(file.trialBegin, s.trialBegin);
+        EXPECT_EQ(file.trialCount, s.trialCount);
+        EXPECT_EQ(file.fullTrials, 8);
+        EXPECT_EQ(file.smokeTrials, 8);
+    }
+    EXPECT_EQ(cursor, 8);
+
+    // Re-planning over a journaled campaign is refused.
+    EXPECT_NE(planCampaign(request, diag).find("refusing"),
+              std::string::npos);
+}
+
+TEST(Plan, RejectsCustomExecutorScenarios)
+{
+    Scenario custom = tinyScenario("sweep_plan_custom");
+    custom.variants = [](const RunOptions &) {
+        ScenarioSpec spec;
+        spec.variant = "code";
+        spec.custom = [](scenario::TrialContext &) {};
+        return std::vector<ScenarioSpec>{spec};
+    };
+    scenario::Registry::instance().addOrReplace(custom);
+
+    PlanRequest request;
+    request.targets = {"sweep_plan_custom"};
+    request.dir = scratchDir("plan_custom").string();
+    fs::remove_all(request.dir);
+    std::ostringstream diag;
+    EXPECT_NE(planCampaign(request, diag).find("custom"),
+              std::string::npos);
+}
+
+TEST(Plan, RejectsUnknownScenario)
+{
+    PlanRequest request;
+    request.targets = {"no_such_scenario"};
+    request.dir = scratchDir("plan_unknown").string();
+    fs::remove_all(request.dir);
+    std::ostringstream diag;
+    EXPECT_NE(planCampaign(request, diag).find("unknown scenario"),
+              std::string::npos);
+}
+
+// --- executor (through a fake bench script) ---------------------------
+
+/**
+ * A stand-in c4bench: fails its first execution per shard (exit 3),
+ * then emits a one-row CSV. Exercises retry accounting without
+ * simulating anything.
+ */
+fs::path
+writeFakeBench(const fs::path &dir, bool failFirst)
+{
+    const fs::path script = dir / "fake_bench.sh";
+    std::string body = "#!/bin/sh\nspec=$2\n";
+    if (failFirst) {
+        body += "if [ ! -f \"$spec.mark\" ]; then\n"
+                "  touch \"$spec.mark\"\n"
+                "  echo 'injected failure' >&2\n"
+                "  exit 3\nfi\n";
+    }
+    body += "echo 'scenario,variant,trial,seed,metric,value'\n"
+            "echo \"t,v,0,1,m,1\"\n";
+    writeFile(script, body);
+    fs::permissions(script, fs::perms::owner_all |
+                                fs::perms::group_read |
+                                fs::perms::others_read);
+    return script;
+}
+
+fs::path
+executorCampaign(const std::string &name)
+{
+    const fs::path dir = scratchDir(name);
+    fs::create_directories(dir / "shards");
+    fs::create_directories(dir / "csv");
+    fs::create_directories(dir / "logs");
+    Manifest m = sampleManifest();
+    for (const Shard &s : m.shards)
+        writeFile(dir / s.spec, "{}"); // fake bench never reads it
+    saveManifest(dir.string(), m);
+    return dir;
+}
+
+TEST(Exec, RetriesFailuresJournalsAndResumes)
+{
+    const fs::path dir = executorCampaign("exec");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/true);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.workers = 2;
+    request.maxAttempts = 2;
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.executed, 2);
+    EXPECT_EQ(stats.failed, 0);
+
+    Manifest m = loadManifest(dir.string());
+    for (const Shard &s : m.shards) {
+        EXPECT_EQ(s.status, ShardStatus::Done);
+        EXPECT_EQ(s.attempts, 2); // one failure + one success each
+        EXPECT_EQ(s.exitCode, 0);
+        // The child's streams landed in the journaled locations.
+        EXPECT_NE(readFile(dir / s.csv).find("t,v,0,1,m,1"),
+                  std::string::npos);
+    }
+
+    // Resume: nothing pending, nothing re-executed.
+    ExecStats again;
+    std::ostringstream diag2;
+    ASSERT_EQ(runCampaign(request, again, diag2), "");
+    EXPECT_EQ(again.executed, 0);
+    EXPECT_EQ(again.skipped, 2);
+}
+
+TEST(Exec, AttemptBudgetParksShardsAsFailed)
+{
+    const fs::path dir = executorCampaign("exec_fail");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/true);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.maxAttempts = 1; // no retries
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.executed, 0);
+    EXPECT_EQ(stats.failed, 2);
+    Manifest m = loadManifest(dir.string());
+    EXPECT_EQ(m.shards[0].status, ShardStatus::Failed);
+    EXPECT_EQ(m.shards[0].exitCode, 3);
+    EXPECT_NE(readFile(dir / m.shards[0].log).find("injected"),
+              std::string::npos);
+
+    // A raised attempt budget re-opens the parked shards.
+    request.maxAttempts = 2;
+    ExecStats retry;
+    std::ostringstream diag2;
+    ASSERT_EQ(runCampaign(request, retry, diag2), "");
+    EXPECT_EQ(retry.executed, 2);
+    EXPECT_TRUE(campaignComplete(loadManifest(dir.string())));
+}
+
+TEST(Exec, MaxShardsLimitsThisInvocation)
+{
+    const fs::path dir = executorCampaign("exec_partial");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/false);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.maxShards = 1;
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.executed, 1);
+    EXPECT_EQ(stats.remaining, 1);
+
+    // An interrupted campaign journals `running`; a fresh executor
+    // re-queues it without burning an attempt.
+    Manifest m = loadManifest(dir.string());
+    m.shards[1].status = ShardStatus::Running;
+    saveManifest(dir.string(), m);
+    request.maxShards = 0;
+    ExecStats resume;
+    std::ostringstream diag2;
+    ASSERT_EQ(runCampaign(request, resume, diag2), "");
+    EXPECT_EQ(resume.executed, 1);
+    EXPECT_EQ(resume.skipped, 1);
+    EXPECT_TRUE(campaignComplete(loadManifest(dir.string())));
+    EXPECT_EQ(loadManifest(dir.string()).shards[1].attempts, 1);
+}
+
+TEST(Exec, MissingBenchIsAnInfrastructureError)
+{
+    const fs::path dir = executorCampaign("exec_nobench");
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = (dir / "no_such_bench").string();
+    ExecStats stats;
+    std::ostringstream diag;
+    EXPECT_NE(runCampaign(request, stats, diag)
+                  .find("cannot execute bench"),
+              std::string::npos);
+}
+
+// --- merger -----------------------------------------------------------
+
+/** A hand-built two-shard campaign whose merge result is known. */
+fs::path
+mergeCampaignDir(const std::string &name)
+{
+    const fs::path dir = scratchDir(name);
+    fs::create_directories(dir / "shards");
+    fs::create_directories(dir / "csv");
+    fs::create_directories(dir / "logs");
+
+    Manifest m = sampleManifest();
+    for (Shard &s : m.shards) {
+        s.status = ShardStatus::Done;
+        s.attempts = 1;
+    }
+    saveManifest(dir.string(), m);
+
+    // Shard specs carry the variant order ("a" then "b").
+    specio::SpecFile file;
+    file.name = "t";
+    file.fullTrials = 4;
+    file.smokeTrials = 4;
+    ScenarioSpec a, b;
+    a.variant = "a";
+    b.variant = "b";
+    file.variants = {a, b};
+    file.trialBegin = 0;
+    file.trialCount = 2;
+    writeFile(dir / "shards/t.s0.json", specio::writeSpecFile(file));
+    file.trialBegin = 2;
+    writeFile(dir / "shards/t.s1.json", specio::writeSpecFile(file));
+
+    const std::string header =
+        "scenario,variant,trial,seed,metric,value\n";
+    writeFile(dir / "csv/t.s0.csv", header +
+                                        "t,a,0,9,m,1\n"
+                                        "t,a,1,9,m,2\n"
+                                        "t,b,0,9,m,3\n"
+                                        "t,b,1,9,m,4\n");
+    writeFile(dir / "csv/t.s1.csv", header +
+                                        "t,a,2,9,m,5\n"
+                                        "t,a,3,9,m,6\n"
+                                        "t,b,2,9,m,7\n"
+                                        "t,b,3,9,m,8\n");
+    return dir;
+}
+
+TEST(Merge, InterleavesVariantMajorAcrossShards)
+{
+    const fs::path dir = mergeCampaignDir("merge");
+    const fs::path out = dir / "merged.csv";
+    std::ostringstream diag;
+    ASSERT_EQ(mergeCampaign(dir.string(), out.string(), diag), "");
+    EXPECT_EQ(readFile(out),
+              "scenario,variant,trial,seed,metric,value\n"
+              "t,a,0,9,m,1\n"
+              "t,a,1,9,m,2\n"
+              "t,a,2,9,m,5\n"
+              "t,a,3,9,m,6\n"
+              "t,b,0,9,m,3\n"
+              "t,b,1,9,m,4\n"
+              "t,b,2,9,m,7\n"
+              "t,b,3,9,m,8\n");
+}
+
+TEST(Merge, RefusesIncompleteOverlappingOrMismatchedShards)
+{
+    std::ostringstream diag;
+
+    // A shard still pending.
+    fs::path dir = mergeCampaignDir("merge_pending");
+    Manifest m = loadManifest(dir.string());
+    m.shards[1].status = ShardStatus::Pending;
+    saveManifest(dir.string(), m);
+    EXPECT_NE(mergeCampaign(dir.string(), "-", diag)
+                  .find("is pending"),
+              std::string::npos);
+
+    // Overlapping trial ranges.
+    dir = mergeCampaignDir("merge_overlap");
+    m = loadManifest(dir.string());
+    m.shards[1].trialBegin = 1;
+    saveManifest(dir.string(), m);
+    EXPECT_NE(mergeCampaign(dir.string(), "-", diag).find("overlap"),
+              std::string::npos);
+
+    // A gap in coverage.
+    dir = mergeCampaignDir("merge_gap");
+    m = loadManifest(dir.string());
+    m.shards[1].trialBegin = 3;
+    m.shards[1].trialCount = 1;
+    saveManifest(dir.string(), m);
+    EXPECT_NE(mergeCampaign(dir.string(), "-", diag).find("covers"),
+              std::string::npos);
+
+    // Header drift between shards.
+    dir = mergeCampaignDir("merge_header");
+    writeFile(dir / "csv/t.s1.csv",
+              "scenario,variant,trial,metric,value\nt,a,2,m,5\n");
+    EXPECT_NE(
+        mergeCampaign(dir.string(), "-", diag).find("header"),
+        std::string::npos);
+
+    // A row naming a variant the spec does not know.
+    dir = mergeCampaignDir("merge_variant");
+    writeFile(dir / "csv/t.s1.csv",
+              "scenario,variant,trial,seed,metric,value\n"
+              "t,zzz,2,9,m,5\n");
+    EXPECT_NE(mergeCampaign(dir.string(), "-", diag)
+                  .find("unknown variant"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace c4::sweep
