@@ -91,6 +91,59 @@ fabricReallocation(TrialContext &ctx)
                });
 }
 
+/**
+ * Deterministic cost counters for Fabric::recompute under a 64-node
+ * pod — the seed of the ROADMAP's Fig. 3 profiling item. Unlike the
+ * wall-clock variants, these metrics are seed-stable: the filling-ops
+ * counter measures algorithmic work, not machine speed, so a fair-
+ * share-allocator change shows up as an exact ops delta. The same
+ * numbers flow out as recompute_begin/recompute_end trace events when
+ * a recorder is attached (`c4bench micro_core --trace DIR`).
+ */
+void
+fabricRecomputeOps(TrialContext &ctx)
+{
+    const int flows = 256;
+    net::TopologyConfig tc;
+    tc.numNodes = 64;
+    tc.nodesPerSegment = 4;
+    net::Topology topo(tc);
+    Simulator sim;
+    sim.setTracer(trace::TraceScope(ctx.tracer));
+    net::FabricConfig fc;
+    fc.congestionJitter = false;
+    net::Fabric fabric(sim, topo, fc);
+
+    std::uint32_t label = 0;
+    for (int i = 0; i < flows; ++i) {
+        net::PathRequest req;
+        req.srcNode = i % 32;
+        req.srcNic = i % 8;
+        req.dstNode = 32 + (i % 32);
+        req.dstNic = i % 8;
+        req.flowLabel = ++label;
+        fabric.startFlow(req, gib(100), nullptr);
+    }
+    (void)fabric.flowRate(1); // force one consistent allocation
+
+    const int reps = ctx.pick(200, 10);
+    for (int r = 0; r < reps; ++r) {
+        fabric.setLinkUp(topo.trunkUplink(0, 0), false);
+        (void)fabric.linkThroughput(0);
+        fabric.setLinkUp(topo.trunkUplink(0, 0), true);
+        (void)fabric.linkThroughput(0);
+    }
+    const double reallocs =
+        static_cast<double>(fabric.reallocationCount());
+    const double ops = static_cast<double>(fabric.recomputeOpsTotal());
+    ctx.metric("reallocs", reallocs);
+    ctx.metric("filling_ops_total", ops);
+    ctx.metric("filling_ops_per_realloc",
+               reallocs > 0.0 ? ops / reallocs : 0.0);
+    ctx.metric("filling_ops_last",
+               static_cast<double>(fabric.recomputeOpsLast()));
+}
+
 void
 delayMatrix(TrialContext &ctx)
 {
@@ -148,9 +201,11 @@ const Register reg{{
     .name = "micro_core",
     .title = "Microbenchmarks: simulator hot kernels (wall clock)",
     .description =
-        "Event-queue throughput, fabric re-allocation, delay-matrix "
-        "analysis, and end-to-end allreduce simulation cost.",
-    .notes = "Wall-clock timings; machine-dependent by nature.",
+        "Event-queue throughput, fabric re-allocation (wall clock and "
+        "deterministic filling-ops counters), delay-matrix analysis, "
+        "and end-to-end allreduce simulation cost.",
+    .notes = "Wall-clock timings are machine-dependent by nature; "
+             "fabric_recompute_ops_64n is seed-stable.",
     .fullTrials = 1,
     .smokeTrials = 1,
     .serialTrials = true, // wall-clock timings: no concurrent trials
@@ -167,6 +222,7 @@ const Register reg{{
             return std::vector<ScenarioSpec>{
                 make("event_queue_100k", eventQueue),
                 make("fabric_realloc_256f", fabricReallocation),
+                make("fabric_recompute_ops_64n", fabricRecomputeOps),
                 make("delay_matrix_64r", delayMatrix),
                 make("allreduce_sim_16n", allreduceSimulation),
             };

@@ -42,6 +42,9 @@ usage(const char *argv0)
         "               <scenario|spec.json>...\n"
         "       %s run DIR [--bench PATH] [--workers N]\n"
         "               [--retries N] [--max-shards N]\n"
+        "               [--only id1,id2]   (shard ids from `status`;\n"
+        "               unknown ids are an error — hand each host a\n"
+        "               disjoint --only set for multi-host campaigns)\n"
         "       %s merge DIR [--csv FILE]   (FILE '-' = stdout)\n"
         "       %s status DIR\n"
         "\n"
@@ -158,6 +161,17 @@ mainRun(int argc, char **argv, const char *argv0)
             const char *v = value();
             if (!v || !parseCliInt(v, request.maxShards)) {
                 usage(argv0);
+                return 2;
+            }
+        } else if (arg == "--only") {
+            const char *v = value();
+            if (!v) {
+                usage(argv0);
+                return 2;
+            }
+            c4::scenario::splitCommaList(v, request.only);
+            if (request.only.empty()) {
+                std::fprintf(stderr, "--only needs shard ids\n");
                 return 2;
             }
         } else if (arg.size() > 1 && arg[0] == '-') {

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * c4trace — inspect the deterministic event traces written by
+ * `c4bench --trace DIR`.
+ *
+ *   c4trace summary PATH...        per-kind counts, value stats, and
+ *                                  the costliest fabric recomputes;
+ *                                  PATH is a .jsonl file or a
+ *                                  directory searched recursively
+ *   c4trace timeline PATH...       human-readable log; several trial
+ *                                  traces interleave by simulated time
+ *   c4trace diff A.jsonl B.jsonl [--context N]
+ *                                  byte-compare two trial traces and
+ *                                  report the first divergence with
+ *                                  context — exit 0 identical, 1
+ *                                  divergent
+ *
+ * Because a trial's trace is byte-identical across thread counts and
+ * reruns with the same seed, `diff` pinpoints exactly where a
+ * nondeterministic change first bites — long before it surfaces (or
+ * hides) in an end-of-run CSV aggregate.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/analyze.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s summary PATH...\n"
+        "       %s timeline PATH...\n"
+        "       %s diff A.jsonl B.jsonl [--context N]\n"
+        "\n"
+        "PATH is a .jsonl trace file, or a directory (every *.jsonl\n"
+        "under it, recursively). `c4bench <scenario> --trace DIR`\n"
+        "writes them.\n",
+        argv0, argv0, argv0);
+}
+
+/** Expand each argument and load the traces it names. */
+int
+loadAll(int argc, char **argv, std::vector<c4::trace::TraceFile> &out)
+{
+    for (int i = 0; i < argc; ++i) {
+        try {
+            for (const std::string &file :
+                 c4::trace::collectTraceFiles(argv[i])) {
+                out.push_back(c4::trace::loadTraceFile(file));
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+    return 0;
+}
+
+int
+mainSummary(int argc, char **argv, const char *argv0)
+{
+    if (argc < 1) {
+        usage(argv0);
+        return 2;
+    }
+    std::vector<c4::trace::TraceFile> traces;
+    const int rc = loadAll(argc, argv, traces);
+    if (rc != 0)
+        return rc;
+    c4::trace::printSummary(traces, std::cout);
+    return 0;
+}
+
+int
+mainTimeline(int argc, char **argv, const char *argv0)
+{
+    if (argc < 1) {
+        usage(argv0);
+        return 2;
+    }
+    std::vector<c4::trace::TraceFile> traces;
+    const int rc = loadAll(argc, argv, traces);
+    if (rc != 0)
+        return rc;
+    c4::trace::printTimeline(traces, std::cout);
+    return 0;
+}
+
+int
+mainDiff(int argc, char **argv, const char *argv0)
+{
+    std::vector<std::string> paths;
+    int context = 3;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--context") == 0) {
+            char *end = nullptr;
+            const long v = i + 1 < argc
+                               ? std::strtol(argv[++i], &end, 10)
+                               : -1;
+            if (!end || *end != '\0' || v < 0 || v > 100) {
+                usage(argv0);
+                return 2;
+            }
+            context = static_cast<int>(v);
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage(argv0);
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(argv0);
+        return 2;
+    }
+    try {
+        return c4::trace::diffTraces(paths[0], paths[1], std::cout,
+                                     context);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h") {
+        usage(argv[0]);
+        return 0;
+    }
+    if (command == "summary")
+        return mainSummary(argc - 2, argv + 2, argv[0]);
+    if (command == "timeline")
+        return mainTimeline(argc - 2, argv + 2, argv[0]);
+    if (command == "diff")
+        return mainDiff(argc - 2, argv + 2, argv[0]);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    usage(argv[0]);
+    return 2;
+}

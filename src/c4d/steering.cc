@@ -95,6 +95,19 @@ JobSteeringService::scheduleRestart(train::TrainingJob &job,
         recoveries_.push_back(rec);
         ++restarts_;
 
+        trace::TraceScope &tr = sim_.tracer();
+        if (tr.wants(trace::EventKind::SteeringDecision)) {
+            trace::Event tev;
+            tev.when = sim_.now();
+            tev.kind = trace::EventKind::SteeringDecision;
+            tev.job = id;
+            tev.a = static_cast<std::int64_t>(toIsolate.size());
+            tev.b = viaC4d ? 1 : 0;
+            tev.value = toSeconds(rec.recoveryLatency());
+            tev.detail = "restart";
+            tr.record(std::move(tev));
+        }
+
         logInfo("steering", "restarting job %d (isolated %zu nodes, "
                 "via %s)", id, toIsolate.size(),
                 viaC4d ? "c4d" : "manual");

@@ -114,6 +114,17 @@ C4pMaster::decide(const ConnContext &ctx)
     }
 
     ++allocations_;
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::PathRealloc)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::PathRealloc;
+        tev.job = ctx.job;
+        tev.node = ctx.srcNode;
+        tev.a = d.spine;
+        tev.detail = "alloc";
+        tr.record(std::move(tev));
+    }
     return d;
 }
 
@@ -191,6 +202,18 @@ C4pMaster::rebalance(const std::vector<ConnContext> &ctxs,
             st.rate.reset();
             ++repins_;
             changed = true;
+            trace::TraceScope &tr = sim_.tracer();
+            if (tr.wants(trace::EventKind::PathRealloc)) {
+                trace::Event tev;
+                tev.when = sim_.now();
+                tev.kind = trace::EventKind::PathRealloc;
+                tev.job = ctx.job;
+                tev.node = ctx.srcNode;
+                tev.a = spine;
+                tev.b = 1; // re-pin, not an initial allocation
+                tev.detail = "repin";
+                tr.record(std::move(tev));
+            }
         }
     }
 

@@ -1,4 +1,4 @@
-#include "specio/json.h"
+#include "common/json.h"
 
 #include <cerrno>
 #include <cmath>
@@ -6,7 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
-namespace c4::specio {
+namespace c4 {
 
 std::string
 SpecError::locate(const std::string &message, int line, int column)
@@ -449,6 +449,55 @@ writeValue(std::string &out, const Json &v, int indent)
     }
 }
 
+/** One-line form: no indentation or newlines anywhere. */
+void
+writeValueCompact(std::string &out, const Json &v)
+{
+    switch (v.kind) {
+      case Json::Kind::Null:
+        out += "null";
+        break;
+      case Json::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case Json::Kind::Int:
+        out += std::to_string(v.integer);
+        break;
+      case Json::Kind::Double:
+        out += v.raw.empty() ? formatJsonDouble(v.number) : v.raw;
+        break;
+      case Json::Kind::String:
+        writeString(out, v.string);
+        break;
+      case Json::Kind::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const Json &e : v.array) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            writeValueCompact(out, e);
+        }
+        out.push_back(']');
+        break;
+      }
+      case Json::Kind::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const Json::Member &m : v.object) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            writeString(out, m.key);
+            out.push_back(':');
+            writeValueCompact(out, m.value);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
 } // namespace
 
 std::string
@@ -488,4 +537,12 @@ writeJson(const Json &value)
     return out;
 }
 
-} // namespace c4::specio
+std::string
+writeJsonCompact(const Json &value)
+{
+    std::string out;
+    writeValueCompact(out, value);
+    return out;
+}
+
+} // namespace c4

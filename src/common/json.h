@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A dependency-free JSON-subset reader/writer, shared by the spec-file
+ * subsystem (specio), the sweep manifest journal, and the event-trace
+ * exporters.
+ *
+ * The dialect is strict JSON (objects, arrays, strings, numbers,
+ * true/false/null) minus nothing, plus nothing — no comments, no
+ * trailing commas. What distinguishes this from a generic JSON library
+ * is what those subsystems need from it:
+ *
+ *  - every value and object key remembers its line/column, so binder
+ *    errors point at the offending spot in the file;
+ *  - duplicate keys inside one object are a parse error (a silently
+ *    ignored "oversubscription" written twice is a debugging trap);
+ *  - integers are kept exact (std::int64_t) and distinct from doubles,
+ *    and the writer formats doubles with the shortest representation
+ *    that round-trips, so write -> parse -> write is byte-stable.
+ */
+
+#ifndef C4_COMMON_JSON_H
+#define C4_COMMON_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c4 {
+
+/** A parse/bind failure, located in the source document. */
+class SpecError : public std::runtime_error
+{
+  public:
+    SpecError(std::string message, int line, int column)
+        : std::runtime_error(locate(message, line, column)),
+          line_(line), column_(column)
+    {
+    }
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+  private:
+    static std::string locate(const std::string &message, int line,
+                              int column);
+
+    int line_;
+    int column_;
+};
+
+/** One parsed JSON value, with source location. */
+struct Json
+{
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    /** Object member; insertion order is preserved. Defined after the
+     * class (it holds a Json by value). */
+    struct Member;
+
+    Kind kind = Kind::Null;
+    int line = 0;
+    int column = 0;
+
+    bool boolean = false;
+    std::int64_t integer = 0;
+    double number = 0.0;
+    /** Source token for numbers (writer emits it verbatim when set),
+     * so exact-decimal encodings survive the double conversion. */
+    std::string raw;
+    std::string string;
+    std::vector<Json> array;
+    std::vector<Member> object;
+
+    /** The object member named @p key, or nullptr. */
+    const Member *find(const std::string &key) const;
+
+    /** Human-readable kind name ("object", "string", ...). */
+    static const char *kindName(Kind kind);
+};
+
+struct Json::Member
+{
+    std::string key;
+    int keyLine = 0;
+    int keyColumn = 0;
+    Json value;
+};
+
+/**
+ * Parse one JSON document (trailing garbage is an error).
+ * @throws SpecError with 1-based line/column on malformed input.
+ */
+Json parseJson(const std::string &text);
+
+/**
+ * Serialize canonically: 2-space indent, members in insertion order,
+ * doubles in shortest round-trip form. The same value always produces
+ * the same bytes.
+ */
+std::string writeJson(const Json &value);
+
+/**
+ * Serialize on one line with no whitespace (JSONL records: one event
+ * per line). Same canonical number/string formatting as writeJson.
+ */
+std::string writeJsonCompact(const Json &value);
+
+/** Canonical number formatting (shared with the spec writer). */
+std::string formatJsonDouble(double v);
+
+} // namespace c4
+
+#endif // C4_COMMON_JSON_H

@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <vector>
@@ -8,7 +9,11 @@ namespace c4 {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Trial sweeps log from std::thread workers: the level is an atomic
+// (read on every call, no lock) and the sink is swapped and invoked
+// under one mutex, so a test capturing output mid-sweep cannot race a
+// concurrent emit.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 LogSink g_sink;
 std::mutex g_mutex;
 
@@ -39,13 +44,13 @@ logLevelName(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -58,7 +63,8 @@ setLogSink(LogSink sink)
 void
 logMessage(LogLevel level, const char *tag, const char *fmt, ...)
 {
-    if (level < g_level || g_level == LogLevel::Off)
+    const LogLevel min = g_level.load(std::memory_order_relaxed);
+    if (level < min || min == LogLevel::Off)
         return;
 
     va_list args;

@@ -30,6 +30,11 @@ LogLevel logLevel();
 /**
  * Replace the sink. The default sink writes "LEVEL [tag] message" lines to
  * stderr. Passing nullptr restores the default.
+ *
+ * Thread-safe: the sink swap and every emit serialize on one mutex
+ * (and the level is atomic), because trial sweeps log from
+ * std::thread workers. The sink itself is invoked under that mutex —
+ * a sink must not log re-entrantly.
  */
 using LogSink =
     std::function<void(LogLevel, const std::string &tag,

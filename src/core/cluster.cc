@@ -132,6 +132,16 @@ Cluster::addJob(train::JobConfig jc)
     jobs_.emplace(ref.id(), std::move(job));
     if (steering_)
         steering_->manageJob(ref);
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::JobArrival)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::JobArrival;
+        tev.job = ref.id();
+        tev.a = static_cast<std::int64_t>(ref.nodes().size());
+        tev.detail = ref.config().name;
+        tr.record(std::move(tev));
+    }
     return ref;
 }
 
@@ -144,7 +154,16 @@ Cluster::isNodeBroken(NodeId node) const
 void
 Cluster::repairNode(NodeId node)
 {
-    broken_.erase(node);
+    if (broken_.erase(node) == 0)
+        return;
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::FaultRecovered)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::FaultRecovered;
+        tev.node = node;
+        tr.record(std::move(tev));
+    }
 }
 
 train::TrainingJob *
@@ -161,6 +180,15 @@ Cluster::removeJob(JobId id)
     if (it == jobs_.end())
         return false;
     train::TrainingJob &j = *it->second;
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::JobDeparture)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::JobDeparture;
+        tev.job = id;
+        tev.a = static_cast<std::int64_t>(j.nodes().size());
+        tr.record(std::move(tev));
+    }
     // Unmanage first so an in-flight steering recovery cannot touch
     // the job after teardown.
     if (steering_)

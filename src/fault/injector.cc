@@ -36,6 +36,19 @@ void
 FaultInjector::fire(FaultEvent ev)
 {
     logDebug("fault", "inject %s", ev.str().c_str());
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::FaultInjected)) {
+        trace::Event tev;
+        tev.when = ev.when;
+        tev.kind = trace::EventKind::FaultInjected;
+        tev.node = ev.node;
+        // NIC-scoped faults report the NIC; LinkDown the trunk index.
+        tev.a = ev.type == FaultType::LinkDown ? ev.link : ev.nic;
+        tev.b = ev.isLocal ? 1 : 0;
+        tev.value = ev.severity;
+        tev.detail = faultTypeName(ev.type);
+        tr.record(std::move(tev));
+    }
     history_.push_back(ev);
     if (applier_)
         applier_(ev);

@@ -122,10 +122,19 @@ Fabric::setLinkUp(LinkId id, bool up)
     if (topo_.link(id).up == up)
         return;
     topo_.setLinkUp(id, up);
-    if (!up)
-        rerouteFlowsTouching(id);
-    else
-        reresolveStalledFlows();
+    const std::size_t touched =
+        up ? reresolveStalledFlows() : rerouteFlowsTouching(id);
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::PathRealloc)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::PathRealloc;
+        tev.a = id;
+        tev.b = up ? 1 : 0;
+        tev.value = static_cast<double>(touched);
+        tev.detail = up ? "link_up" : "link_down";
+        tr.record(std::move(tev));
+    }
     markDirty();
 }
 
@@ -137,13 +146,15 @@ Fabric::setLinkCapacityScale(LinkId id, double scale)
     markDirty();
 }
 
-void
+std::size_t
 Fabric::rerouteFlowsTouching(LinkId id)
 {
+    std::size_t touched = 0;
     for (auto &[fid, flow] : flows_) {
         const auto &links = flow.route.links;
         if (std::find(links.begin(), links.end(), id) == links.end())
             continue;
+        ++touched;
         if (flow.hasReq) {
             // ECMP rehash among the surviving next hops: deterministic
             // per flow, so rerouted flows can concentrate (Fig. 13a).
@@ -152,15 +163,20 @@ Fabric::rerouteFlowsTouching(LinkId id)
             flow.route = Route{}; // explicit route died with the link
         }
     }
+    return touched;
 }
 
-void
+std::size_t
 Fabric::reresolveStalledFlows()
 {
+    std::size_t touched = 0;
     for (auto &[fid, flow] : flows_) {
-        if (!flow.route.valid() && flow.hasReq)
+        if (!flow.route.valid() && flow.hasReq) {
+            ++touched;
             flow.route = selector_.select(flow.req);
+        }
     }
+    return touched;
 }
 
 void
@@ -209,6 +225,18 @@ Fabric::recompute()
         recomputeEvent_ = kInvalidEvent;
     }
     ++reallocations_;
+
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::RecomputeBegin)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::RecomputeBegin;
+        tev.a = static_cast<std::int64_t>(flows_.size());
+        tr.record(std::move(tev));
+    }
+    // Deterministic work counter: every link scanned by the filling
+    // loop and every per-flow route update counts one unit.
+    std::uint64_t work = 0;
 
     // Clear only the state the previous allocation touched.
     for (int l : scratchActiveLinks_) {
@@ -271,6 +299,7 @@ Fabric::recompute()
     while (fixed_count < runnable.size()) {
         double best_fair = std::numeric_limits<double>::infinity();
         int best_link = kInvalidId;
+        work += activeLinks.size();
         for (int l : activeLinks) {
             auto li = static_cast<std::size_t>(l);
             if (unfixed[li] <= 0)
@@ -298,6 +327,7 @@ Fabric::recompute()
                 continue; // already fixed
             ++fixed_count;
             f->rate = best_fair;
+            work += f->route.links.size();
             for (LinkId l : f->route.links) {
                 auto li = static_cast<std::size_t>(l);
                 cap[li] -= best_fair;
@@ -305,6 +335,8 @@ Fabric::recompute()
             }
         }
     }
+    lastRecomputeOps_ = work;
+    recomputeOps_ += work;
 
     // Post-pass: link allocation totals, congestion flags, CNP rates,
     // and the DCQCN sender-side jitter.
@@ -356,6 +388,16 @@ Fabric::recompute()
         if (f->hasReq && f->cnpRate > 0.0)
             nicCnp_[nicKey(f->req.srcNode, f->req.srcNic)] +=
                 f->cnpRate;
+    }
+
+    if (tr.wants(trace::EventKind::RecomputeEnd)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::RecomputeEnd;
+        tev.a = static_cast<std::int64_t>(runnable.size());
+        tev.b = static_cast<std::int64_t>(activeLinks.size());
+        tev.value = static_cast<double>(work);
+        tr.record(std::move(tev));
     }
 
     // Schedule the next completion.

@@ -161,6 +161,18 @@ class Fabric
     std::uint64_t totalFlowsCompleted() const { return completed_; }
     std::uint64_t totalFlowsStarted() const { return started_; }
     std::uint64_t reallocationCount() const { return reallocations_; }
+
+    /**
+     * Deterministic cost model of recompute(): progressive-filling
+     * work units (link scans + per-flow route updates) accumulated
+     * over all re-allocations. Seed-stable — unlike wall clock — so
+     * it can gate regressions and feed trace events; the companion
+     * of the ROADMAP's "profile Fabric::recompute" item.
+     */
+    std::uint64_t recomputeOpsTotal() const { return recomputeOps_; }
+
+    /** Work units of the most recent recompute() alone. */
+    std::uint64_t recomputeOpsLast() const { return lastRecomputeOps_; }
     /** @} */
 
     const Topology &topology() const { return topo_; }
@@ -214,6 +226,8 @@ class Fabric
     std::uint64_t completed_ = 0;
     std::uint64_t started_ = 0;
     std::uint64_t reallocations_ = 0;
+    std::uint64_t recomputeOps_ = 0;
+    std::uint64_t lastRecomputeOps_ = 0;
 
     FlowId admit(FlowState state);
 
@@ -232,8 +246,9 @@ class Fabric
     /** Fire completions whose remaining bytes reached zero. */
     void onCompletionEvent();
 
-    void rerouteFlowsTouching(LinkId id);
-    void reresolveStalledFlows();
+    /** @return the number of flows whose routes were touched. */
+    std::size_t rerouteFlowsTouching(LinkId id);
+    std::size_t reresolveStalledFlows();
 };
 
 } // namespace c4::net

@@ -48,6 +48,12 @@ usage(const char *argv0)
         "                 FILE '-' streams CSV to stdout for piping\n"
         "                 and suppresses the table\n"
         "  --json FILE    write results as JSON\n"
+        "  --trace DIR    write per-trial event traces (JSONL) and a\n"
+        "                 per-scenario Chrome trace under DIR; inspect\n"
+        "                 with c4trace summary|timeline|diff\n"
+        "  --trace-filter KINDS\n"
+        "                 record only these comma-separated event\n"
+        "                 kinds (e.g. fault_injected,recompute_end)\n"
         "  --list         list registered scenarios and exit\n"
         "  --all          run every registered scenario\n"
         "  --spec FILES   load scenarios from spec files and run them\n"
@@ -60,6 +66,8 @@ usage(const char *argv0)
         "                 flags (--smoke, --trials, --seed)\n",
         argv0, argv0, argv0, argv0);
 }
+
+} // namespace
 
 void
 splitCommaList(const std::string &list, std::vector<std::string> &out)
@@ -76,8 +84,6 @@ splitCommaList(const std::string &list, std::vector<std::string> &out)
         start = comma + 1;
     }
 }
-
-} // namespace
 
 bool
 parseCliInt(const char *s, int &out)
@@ -133,6 +139,7 @@ scenarioMain(int argc, char **argv)
     std::string csvPath, jsonPath;
     bool list = false;
     bool all = false;
+    bool traceFilterSet = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -182,6 +189,26 @@ scenarioMain(int argc, char **argv)
                 return 2;
             }
             jsonPath = v;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            const char *v = value("--trace");
+            if (!v || *v == '\0') {
+                usage(argv[0]);
+                return 2;
+            }
+            opt.traceDir = v;
+        } else if (std::strcmp(arg, "--trace-filter") == 0) {
+            const char *v = value("--trace-filter");
+            if (!v) {
+                usage(argv[0]);
+                return 2;
+            }
+            const std::string err =
+                trace::parseKindFilter(v, opt.traceFilter);
+            if (!err.empty()) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
+            traceFilterSet = true;
         } else if (std::strcmp(arg, "--spec") == 0) {
             const char *v = value("--spec");
             if (!v) {
@@ -223,6 +250,10 @@ scenarioMain(int argc, char **argv)
 
     Registry &registry = Registry::instance();
 
+    if (traceFilterSet && opt.traceDir.empty()) {
+        std::fprintf(stderr, "--trace-filter needs --trace DIR\n");
+        return 2;
+    }
     if ((!specPaths.empty() && !specHooks().loadAndRegister) ||
         (!dumpName.empty() && !specHooks().dump)) {
         std::fprintf(stderr, "this binary was built without "

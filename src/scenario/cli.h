@@ -23,6 +23,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "scenario/options.h"
 
@@ -66,6 +67,11 @@ bool parseCliSeed(const char *s, std::uint64_t &out);
 
 /** True when @p arg names a spec file (ends in ".json"). */
 bool looksLikeSpecPath(const char *arg);
+
+/** Append the non-empty comma-separated items of @p list to @p out
+ * (the `--spec a,b` / `--only id1,id2` value grammar). */
+void splitCommaList(const std::string &list,
+                    std::vector<std::string> &out);
 
 /** @} */
 

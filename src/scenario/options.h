@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "trace/trace.h"
+
 namespace c4::scenario {
 
 /** Options shared by every scenario run (the unified bench CLI). */
@@ -34,6 +36,17 @@ struct RunOptions
     /** Base seed; per-trial seeds are derived deterministically. */
     std::uint64_t seed = 0;
     bool seedSet = false;
+
+    /**
+     * Event-trace output directory (`--trace DIR`); empty = tracing
+     * off (the default — zero overhead). When set, every (variant,
+     * trial) writes a deterministic JSONL trace plus a combined
+     * Chrome trace per scenario; the CSV/JSON results are unchanged.
+     */
+    std::string traceDir;
+
+    /** Which event kinds to record (`--trace-filter k1,k2`). */
+    trace::KindMask traceFilter = trace::kAllKinds;
 
     /** The full-fidelity value, or the slashed one in smoke mode. */
     template <typename T>
@@ -81,6 +94,14 @@ class TrialContext
     const RunOptions &opt;
     const std::uint64_t seed;
     const int trial;
+
+    /**
+     * This trial's event recorder, or nullptr when tracing is off.
+     * The spec interpreter attaches it to the trial's Simulator
+     * (`sim.setTracer(...)`); custom executors that build their own
+     * Simulator may do the same to get traced.
+     */
+    trace::TraceRecorder *tracer = nullptr;
 
     /** Record one measurement. Order is preserved into sinks. */
     void

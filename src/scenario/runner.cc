@@ -4,12 +4,94 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <thread>
 
 #include "common/random.h"
 #include "scenario/workload.h"
+#include "trace/export.h"
 
 namespace c4::scenario {
+
+namespace {
+
+/**
+ * Write the per-trial JSONL traces plus one combined Chrome trace for
+ * the scenario. File naming is index-prefixed (`v<K>_<label>.t<N>`)
+ * so sanitized variant labels cannot collide. Recorder slot order is
+ * the runner's work-item order (variant-major, then trial) — the same
+ * deterministic order the sinks see.
+ * @return "" on success, else an error message.
+ */
+std::string
+writeTraces(const RunOptions &opt, const Scenario &scenario,
+            const std::vector<ScenarioSpec> &variants, int trialBegin,
+            int trialCount,
+            const std::vector<std::unique_ptr<trace::TraceRecorder>>
+                &recorders)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(opt.traceDir) / trace::sanitizeFileComponent(
+                                     scenario.name);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        return "cannot create trace directory '" + dir.string() +
+               "': " + ec.message();
+    }
+
+    std::vector<trace::ChromeTrack> tracks;
+    tracks.reserve(recorders.size());
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::string stem =
+            "v" + std::to_string(v) + "_" +
+            trace::sanitizeFileComponent(variants[v].variant);
+        for (int t = 0; t < trialCount; ++t) {
+            const int trial = trialBegin + t;
+            const std::size_t i =
+                v * static_cast<std::size_t>(trialCount) +
+                static_cast<std::size_t>(t);
+            const fs::path path =
+                dir / (stem + ".t" + std::to_string(trial) +
+                       ".jsonl");
+            std::ofstream out(path, std::ios::binary);
+            if (!out)
+                return "cannot write '" + path.string() + "'";
+            const std::string text =
+                trace::writeJsonl(recorders[i]->events());
+            out.write(text.data(),
+                      static_cast<std::streamsize>(text.size()));
+            if (!out)
+                return "cannot write '" + path.string() + "'";
+
+            trace::ChromeTrack track;
+            track.processName = variants[v].variant;
+            track.threadName = "trial " + std::to_string(trial);
+            track.pid = static_cast<int>(v);
+            track.tid = trial;
+            track.events = &recorders[i]->events();
+            tracks.push_back(std::move(track));
+        }
+    }
+
+    const fs::path chrome =
+        fs::path(opt.traceDir) /
+        (trace::sanitizeFileComponent(scenario.name) + ".trace.json");
+    std::ofstream out(chrome, std::ios::binary);
+    if (!out)
+        return "cannot write '" + chrome.string() + "'";
+    const std::string text = trace::writeChromeTrace(tracks);
+    out.write(text.data(),
+              static_cast<std::streamsize>(text.size()));
+    if (!out)
+        return "cannot write '" + chrome.string() + "'";
+    return "";
+}
+
+} // namespace
 
 std::uint64_t
 trialSeed(std::uint64_t base, int trial)
@@ -83,6 +165,12 @@ ScenarioRunner::run(const Scenario &scenario)
                               static_cast<std::size_t>(trialCount);
     std::vector<TrialResult> results(items);
     std::vector<std::exception_ptr> errors(items);
+    // One recorder per work item when tracing: each trial records
+    // into its own slot, so workers stay synchronization-free and the
+    // output order is independent of the thread schedule.
+    const bool tracing = !opt.traceDir.empty();
+    std::vector<std::unique_ptr<trace::TraceRecorder>> recorders(
+        tracing ? items : 0);
     std::atomic<std::size_t> next{0};
 
     auto worker = [&] {
@@ -99,6 +187,11 @@ ScenarioRunner::run(const Scenario &scenario)
                     i % static_cast<std::size_t>(trialCount));
             const ScenarioSpec &spec = variants[v];
             TrialContext ctx(opt, trialSeed(opt.seed, trial), trial);
+            if (tracing) {
+                recorders[i] = std::make_unique<trace::TraceRecorder>(
+                    opt.traceFilter);
+                ctx.tracer = recorders[i].get();
+            }
             try {
                 if (spec.custom)
                     spec.custom(ctx);
@@ -155,6 +248,17 @@ ScenarioRunner::run(const Scenario &scenario)
                     i % static_cast<std::size_t>(trialCount)),
             what.c_str());
         return 1;
+    }
+
+    if (tracing) {
+        const std::string traceError =
+            writeTraces(opt, scenario, variants, scenario.trialBegin,
+                        trialCount, recorders);
+        if (!traceError.empty()) {
+            std::fprintf(stderr, "scenario '%s': %s\n",
+                         scenario.name.c_str(), traceError.c_str());
+            return 1;
+        }
     }
 
     // Deterministic emission order: variant-major, then trial.

@@ -86,6 +86,9 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
 
     core::Cluster cluster(toClusterConfig(spec, ctx.seed));
     core::Cluster &cl = cluster;
+    // One attach instruments the whole stack: every layer emits
+    // through the Simulator's TraceScope. Nullptr recorder = no-op.
+    cl.sim().setTracer(trace::TraceScope(ctx.tracer));
     const net::Topology &topo = cl.topology();
 
     if (spec.features.sprayPaths)
@@ -267,11 +270,27 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
         cnpSampler = std::make_unique<PeriodicTask>(
             cl.sim(), spec.metrics.cnpSamplePeriod,
             [&cl, &cnpSamples, nic] {
+                double sum = 0.0;
+                std::int64_t hot = 0;
                 for (NodeId n = 0; n < cl.topology().numNodes(); ++n) {
                     const double kps =
                         cl.fabric().nicCnpRate(n, nic) / 1000.0;
-                    if (kps > 0.0)
+                    if (kps > 0.0) {
                         cnpSamples.add(kps);
+                        sum += kps;
+                        ++hot;
+                    }
+                }
+                trace::TraceScope &tr = cl.sim().tracer();
+                if (tr.wants(trace::EventKind::CnpSample)) {
+                    trace::Event tev;
+                    tev.when = cl.sim().now();
+                    tev.kind = trace::EventKind::CnpSample;
+                    tev.a = hot;
+                    tev.value = hot > 0
+                                    ? sum / static_cast<double>(hot)
+                                    : 0.0;
+                    tr.record(std::move(tev));
                 }
             });
         cnpSampler->start();

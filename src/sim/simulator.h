@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "trace/trace.h"
 
 namespace c4 {
 
@@ -84,6 +85,16 @@ class Simulator
     /** Total events executed over the simulator's lifetime. */
     std::uint64_t executedCount() const { return executed_; }
 
+    /** @name Event tracing
+     * The simulator carries the run's TraceScope because every layer
+     * above already holds a Simulator reference: attaching a recorder
+     * here instruments the whole stack without further plumbing.
+     * Detached (the default), emitting is a single null check.
+     * @{ */
+    trace::TraceScope &tracer() { return tracer_; }
+    void setTracer(trace::TraceScope scope) { tracer_ = scope; }
+    /** @} */
+
   private:
     struct Entry
     {
@@ -100,6 +111,7 @@ class Simulator
         }
     };
 
+    trace::TraceScope tracer_;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 1;
     EventId nextId_ = 1;

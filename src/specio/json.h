@@ -1,107 +1,25 @@
 /**
  * @file
- * A dependency-free JSON-subset reader/writer for spec files.
- *
- * The dialect is strict JSON (objects, arrays, strings, numbers,
- * true/false/null) minus nothing, plus nothing — no comments, no
- * trailing commas. What distinguishes this from a generic JSON library
- * is what the spec subsystem needs from it:
- *
- *  - every value and object key remembers its line/column, so binder
- *    errors point at the offending spot in the file;
- *  - duplicate keys inside one object are a parse error (a silently
- *    ignored "oversubscription" written twice is a debugging trap);
- *  - integers are kept exact (std::int64_t) and distinct from doubles,
- *    and the writer formats doubles with the shortest representation
- *    that round-trips, so write -> parse -> write is byte-stable.
+ * Compatibility shim: the JSON-subset reader/writer moved to
+ * common/json.h (namespace c4) so layers below scenario — the sweep
+ * manifest and the event-trace exporters — can link it without
+ * reaching up into specio. Existing specio users keep their include
+ * path and the c4::specio spellings via these aliases.
  */
 
 #ifndef C4_SPECIO_JSON_H
 #define C4_SPECIO_JSON_H
 
-#include <cstdint>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <utility>
-#include <vector>
+#include "common/json.h"
 
 namespace c4::specio {
 
-/** A parse/bind failure, located in the source document. */
-class SpecError : public std::runtime_error
-{
-  public:
-    SpecError(std::string message, int line, int column)
-        : std::runtime_error(locate(message, line, column)),
-          line_(line), column_(column)
-    {
-    }
-
-    int line() const { return line_; }
-    int column() const { return column_; }
-
-  private:
-    static std::string locate(const std::string &message, int line,
-                              int column);
-
-    int line_;
-    int column_;
-};
-
-/** One parsed JSON value, with source location. */
-struct Json
-{
-    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
-
-    /** Object member; insertion order is preserved. Defined after the
-     * class (it holds a Json by value). */
-    struct Member;
-
-    Kind kind = Kind::Null;
-    int line = 0;
-    int column = 0;
-
-    bool boolean = false;
-    std::int64_t integer = 0;
-    double number = 0.0;
-    /** Source token for numbers (writer emits it verbatim when set),
-     * so exact-decimal encodings survive the double conversion. */
-    std::string raw;
-    std::string string;
-    std::vector<Json> array;
-    std::vector<Member> object;
-
-    /** The object member named @p key, or nullptr. */
-    const Member *find(const std::string &key) const;
-
-    /** Human-readable kind name ("object", "string", ...). */
-    static const char *kindName(Kind kind);
-};
-
-struct Json::Member
-{
-    std::string key;
-    int keyLine = 0;
-    int keyColumn = 0;
-    Json value;
-};
-
-/**
- * Parse one JSON document (trailing garbage is an error).
- * @throws SpecError with 1-based line/column on malformed input.
- */
-Json parseJson(const std::string &text);
-
-/**
- * Serialize canonically: 2-space indent, members in insertion order,
- * doubles in shortest round-trip form. The same value always produces
- * the same bytes.
- */
-std::string writeJson(const Json &value);
-
-/** Canonical number formatting (shared with the spec writer). */
-std::string formatJsonDouble(double v);
+using c4::Json;
+using c4::SpecError;
+using c4::formatJsonDouble;
+using c4::parseJson;
+using c4::writeJson;
+using c4::writeJsonCompact;
 
 } // namespace c4::specio
 

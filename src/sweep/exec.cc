@@ -109,12 +109,35 @@ runCampaign(const ExecRequest &request, ExecStats &stats,
                "': " + std::strerror(errno) + " (pass --bench)";
     }
 
+    // `--only`: validate every id against the manifest up front — a
+    // typo must fail loudly, not silently run nothing — then build
+    // the selection predicate. Non-selected shards are never touched,
+    // not even their journal state: on a multi-host split, this
+    // host's view of a peer's shard is stale by construction.
+    const std::set<std::string> only(request.only.begin(),
+                                     request.only.end());
+    std::set<std::string> unknown = only;
+    for (const Shard &s : manifest.shards)
+        unknown.erase(s.id);
+    if (!unknown.empty()) {
+        return "--only: unknown shard id '" + *unknown.begin() +
+               "' (see `c4sweep status`)";
+    }
+    auto selected = [&](const Shard &s) {
+        return only.empty() || only.count(s.id) > 0;
+    };
+
     // Crash recovery: a `running` shard at load means a previous
     // executor died (or was killed) mid-shard. Its CSV may be
     // truncated; the execution never journaled a result, so it does
     // not consume an attempt — just re-queue it.
     bool dirty = false;
     for (Shard &s : manifest.shards) {
+        if (!selected(s)) {
+            if (s.status == ShardStatus::Done)
+                ++stats.skipped;
+            continue;
+        }
         if (s.status == ShardStatus::Running) {
             diag << s.id
                  << ": interrupted by a previous run; re-queuing\n";
@@ -197,6 +220,8 @@ runCampaign(const ExecRequest &request, ExecStats &stats,
     auto nextPending = [&]() -> std::ptrdiff_t {
         for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
             if (manifest.shards[i].status != ShardStatus::Pending)
+                continue;
+            if (!selected(manifest.shards[i]))
                 continue;
             if (request.maxShards > 0 && launched.count(i) == 0 &&
                 static_cast<int>(launched.size()) >=

@@ -18,6 +18,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace c4::sweep {
 
@@ -38,6 +39,17 @@ struct ExecRequest
     /** Execute at most this many shards this invocation (0 = all) —
      * incremental campaigns and deterministic resume testing. */
     int maxShards = 0;
+
+    /**
+     * `--only id1,id2`: restrict this invocation to the named shards
+     * (manifest ids like "fig9_dualport.s0"). Empty = all. Every id
+     * must exist in the manifest — an unknown id is a hard error, not
+     * a silent no-op — and non-selected shards are left untouched
+     * (their journal state included), so disjoint `--only` sets can
+     * be handed to different hosts over copies of one planned
+     * campaign and the CSVs collected back for a single merge.
+     */
+    std::vector<std::string> only;
 };
 
 /** What one `c4sweep run` invocation did. */

@@ -1,0 +1,282 @@
+#include "trace/export.h"
+
+namespace c4::trace {
+
+namespace {
+
+Json
+makeInt(std::int64_t v)
+{
+    Json j;
+    j.kind = Json::Kind::Int;
+    j.integer = v;
+    return j;
+}
+
+Json
+makeDouble(double v)
+{
+    Json j;
+    j.kind = Json::Kind::Double;
+    j.number = v;
+    return j;
+}
+
+Json
+makeString(std::string s)
+{
+    Json j;
+    j.kind = Json::Kind::String;
+    j.string = std::move(s);
+    return j;
+}
+
+void
+addMember(Json &obj, const char *key, Json value)
+{
+    Json::Member m;
+    m.key = key;
+    m.value = std::move(value);
+    obj.object.push_back(std::move(m));
+}
+
+[[noreturn]] void
+bindFail(const Json &at, const std::string &what)
+{
+    throw SpecError(what, at.line, at.column);
+}
+
+std::int64_t
+bindInt(const Json &v, const char *key)
+{
+    if (v.kind != Json::Kind::Int)
+        bindFail(v, std::string("\"") + key + "\" must be an integer");
+    return v.integer;
+}
+
+} // namespace
+
+std::string
+eventToJsonLine(const Event &event)
+{
+    Json obj;
+    obj.kind = Json::Kind::Object;
+    addMember(obj, "t", makeInt(event.when));
+    addMember(obj, "k", makeString(eventKindName(event.kind)));
+    if (event.job != kInvalidId)
+        addMember(obj, "job", makeInt(event.job));
+    if (event.node != kInvalidId)
+        addMember(obj, "node", makeInt(event.node));
+    if (event.a != 0)
+        addMember(obj, "a", makeInt(event.a));
+    if (event.b != 0)
+        addMember(obj, "b", makeInt(event.b));
+    if (event.value != 0.0)
+        addMember(obj, "v", makeDouble(event.value));
+    if (!event.detail.empty())
+        addMember(obj, "d", makeString(event.detail));
+    return writeJsonCompact(obj);
+}
+
+Event
+eventFromJson(const Json &value)
+{
+    if (value.kind != Json::Kind::Object)
+        bindFail(value, "trace record must be a JSON object");
+    Event ev;
+    bool haveWhen = false, haveKind = false;
+    for (const Json::Member &m : value.object) {
+        const Json &v = m.value;
+        if (m.key == "t") {
+            ev.when = bindInt(v, "t");
+            haveWhen = true;
+        } else if (m.key == "k") {
+            if (v.kind != Json::Kind::String ||
+                !eventKindFromName(v.string, ev.kind)) {
+                bindFail(v, "\"k\" must name a known event kind");
+            }
+            haveKind = true;
+        } else if (m.key == "job") {
+            ev.job = static_cast<JobId>(bindInt(v, "job"));
+        } else if (m.key == "node") {
+            ev.node = static_cast<NodeId>(bindInt(v, "node"));
+        } else if (m.key == "a") {
+            ev.a = bindInt(v, "a");
+        } else if (m.key == "b") {
+            ev.b = bindInt(v, "b");
+        } else if (m.key == "v") {
+            if (v.kind == Json::Kind::Int)
+                ev.value = static_cast<double>(v.integer);
+            else if (v.kind == Json::Kind::Double)
+                ev.value = v.number;
+            else
+                bindFail(v, "\"v\" must be a number");
+        } else if (m.key == "d") {
+            if (v.kind != Json::Kind::String)
+                bindFail(v, "\"d\" must be a string");
+            ev.detail = v.string;
+        } else {
+            throw SpecError("unknown trace record key \"" + m.key +
+                                "\"",
+                            m.keyLine, m.keyColumn);
+        }
+    }
+    if (!haveWhen || !haveKind)
+        bindFail(value, "trace record needs \"t\" and \"k\"");
+    return ev;
+}
+
+std::string
+writeJsonl(const std::vector<Event> &events)
+{
+    std::string out;
+    for (const Event &ev : events) {
+        out += eventToJsonLine(ev);
+        out.push_back('\n');
+    }
+    return out;
+}
+
+std::vector<Event>
+parseJsonl(const std::string &text)
+{
+    std::vector<Event> out;
+    std::size_t start = 0;
+    int lineNo = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        const std::size_t end = nl == std::string::npos ? text.size()
+                                                        : nl;
+        ++lineNo;
+        const std::string line = text.substr(start, end - start);
+        if (!line.empty()) {
+            try {
+                out.push_back(eventFromJson(parseJson(line)));
+            } catch (const SpecError &e) {
+                throw SpecError("record on line " +
+                                    std::to_string(lineNo) + ": " +
+                                    e.what(),
+                                0, 0);
+            }
+        }
+        if (nl == std::string::npos)
+            break;
+        start = nl + 1;
+    }
+    return out;
+}
+
+std::string
+writeChromeTrace(const std::vector<ChromeTrack> &tracks)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    auto push = [&](const Json &obj) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += writeJsonCompact(obj);
+    };
+
+    for (const ChromeTrack &track : tracks) {
+        Json pname;
+        pname.kind = Json::Kind::Object;
+        addMember(pname, "name", makeString("process_name"));
+        addMember(pname, "ph", makeString("M"));
+        addMember(pname, "pid", makeInt(track.pid));
+        Json pargs;
+        pargs.kind = Json::Kind::Object;
+        addMember(pargs, "name", makeString(track.processName));
+        addMember(pname, "args", std::move(pargs));
+        push(pname);
+
+        Json tname;
+        tname.kind = Json::Kind::Object;
+        addMember(tname, "name", makeString("thread_name"));
+        addMember(tname, "ph", makeString("M"));
+        addMember(tname, "pid", makeInt(track.pid));
+        addMember(tname, "tid", makeInt(track.tid));
+        Json targs;
+        targs.kind = Json::Kind::Object;
+        addMember(targs, "name", makeString(track.threadName));
+        addMember(tname, "args", std::move(targs));
+        push(tname);
+
+        if (track.events == nullptr)
+            continue;
+        // Recompute begin/end render as a B/E slice pair only when
+        // the track holds both kinds; a filter that kept one side
+        // would otherwise emit unbalanced duration events, which
+        // Chrome/Perfetto discard as malformed.
+        bool hasBegin = false, hasEnd = false;
+        for (const Event &ev : *track.events) {
+            hasBegin |= ev.kind == EventKind::RecomputeBegin;
+            hasEnd |= ev.kind == EventKind::RecomputeEnd;
+        }
+        const bool paired = hasBegin && hasEnd;
+        for (const Event &ev : *track.events) {
+            Json obj;
+            obj.kind = Json::Kind::Object;
+            const bool begin =
+                paired && ev.kind == EventKind::RecomputeBegin;
+            const bool end =
+                paired && ev.kind == EventKind::RecomputeEnd;
+            addMember(obj, "name",
+                      makeString(begin || end
+                                     ? "recompute"
+                                     : eventKindName(ev.kind)));
+            addMember(obj, "ph",
+                      makeString(begin ? "B" : end ? "E" : "i"));
+            if (!begin && !end)
+                addMember(obj, "s", makeString("t"));
+            // trace_event timestamps are microseconds; keep them
+            // exact (ns/1000 may not be integral).
+            addMember(obj, "ts",
+                      makeDouble(static_cast<double>(ev.when) /
+                                 1000.0));
+            addMember(obj, "pid", makeInt(track.pid));
+            addMember(obj, "tid", makeInt(track.tid));
+            Json args;
+            args.kind = Json::Kind::Object;
+            if (ev.job != kInvalidId)
+                addMember(args, "job", makeInt(ev.job));
+            if (ev.node != kInvalidId)
+                addMember(args, "node", makeInt(ev.node));
+            if (ev.a != 0)
+                addMember(args, "a", makeInt(ev.a));
+            if (ev.b != 0)
+                addMember(args, "b", makeInt(ev.b));
+            if (ev.value != 0.0)
+                addMember(args, "v", makeDouble(ev.value));
+            if (!ev.detail.empty())
+                addMember(args, "d", makeString(ev.detail));
+            if (!args.object.empty())
+                addMember(obj, "args", std::move(args));
+            push(obj);
+        }
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+std::string
+sanitizeFileComponent(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    // "." and ".." are path traversal, not names: a spec file can put
+    // anything in its scenario name, and `--trace DIR` must never
+    // write outside DIR.
+    if (out.empty() || out == "." || out == "..")
+        return std::string(out.empty() ? 1 : out.size(), '_');
+    return out;
+}
+
+} // namespace c4::trace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace serialization: JSONL (the canonical on-disk form, one compact
+ * JSON object per event line) and the Chrome `trace_event` format
+ * (load into chrome://tracing or Perfetto).
+ *
+ * JSONL is byte-deterministic: fixed key order, default-valued fields
+ * omitted, timestamps as exact integer nanoseconds, doubles in
+ * shortest round-trip form. writeJsonl(parseJsonl(text)) == text for
+ * any text writeJsonl produced — the property `c4trace diff` and the
+ * 1-vs-N-thread byte-equality gate rely on.
+ */
+
+#ifndef C4_TRACE_EXPORT_H
+#define C4_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "trace/trace.h"
+
+namespace c4::trace {
+
+/** One event as a compact one-line JSON object (no newline). */
+std::string eventToJsonLine(const Event &event);
+
+/**
+ * Bind one parsed JSONL record back to an Event. Unknown keys and
+ * mistyped values are errors (schema drift must not pass silently).
+ * @throws SpecError
+ */
+Event eventFromJson(const Json &value);
+
+/** All events, one line each, newline-terminated. */
+std::string writeJsonl(const std::vector<Event> &events);
+
+/**
+ * Parse a JSONL document produced by writeJsonl.
+ * @throws SpecError with the 1-based line number of the bad record.
+ */
+std::vector<Event> parseJsonl(const std::string &text);
+
+/**
+ * One track of a Chrome trace: the events of one (variant, trial),
+ * rendered as process @p pid / thread @p tid with human-readable
+ * metadata names.
+ */
+struct ChromeTrack
+{
+    std::string processName; ///< e.g. the variant label
+    std::string threadName;  ///< e.g. "trial 3"
+    int pid = 0;
+    int tid = 0;
+    const std::vector<Event> *events = nullptr;
+};
+
+/**
+ * Render tracks as one Chrome trace_event JSON document. Recompute
+ * begin/end pairs become duration (B/E) slices named "recompute";
+ * everything else is an instant event. Timestamps are microseconds
+ * (the format's unit), derived exactly from the nanosecond values.
+ */
+std::string writeChromeTrace(const std::vector<ChromeTrack> &tracks);
+
+/**
+ * Make a scenario/variant label safe as a file-name component:
+ * characters outside [A-Za-z0-9._-] become '_'. Callers must still
+ * namespace by index when two labels could collide after mapping.
+ */
+std::string sanitizeFileComponent(const std::string &label);
+
+} // namespace c4::trace
+
+#endif // C4_TRACE_EXPORT_H

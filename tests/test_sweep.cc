@@ -435,6 +435,80 @@ TEST(Exec, MaxShardsLimitsThisInvocation)
     EXPECT_EQ(loadManifest(dir.string()).shards[1].attempts, 1);
 }
 
+TEST(Exec, OnlyFilterRunsExactlyTheNamedShards)
+{
+    const fs::path dir = executorCampaign("exec_only");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/false);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.only = {"t.s1"};
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.executed, 1);
+    EXPECT_EQ(stats.remaining, 1); // the non-selected shard
+
+    Manifest m = loadManifest(dir.string());
+    EXPECT_EQ(m.shards[0].status, ShardStatus::Pending);
+    EXPECT_EQ(m.shards[0].attempts, 0);
+    EXPECT_EQ(m.shards[1].status, ShardStatus::Done);
+
+    // The other host's slice: a second run with the complementary
+    // --only set finishes the campaign.
+    request.only = {"t.s0"};
+    ExecStats rest;
+    std::ostringstream diag2;
+    ASSERT_EQ(runCampaign(request, rest, diag2), "");
+    EXPECT_EQ(rest.executed, 1);
+    EXPECT_EQ(rest.skipped, 1);
+    EXPECT_TRUE(campaignComplete(loadManifest(dir.string())));
+}
+
+TEST(Exec, OnlyFilterLeavesNonSelectedJournalStateAlone)
+{
+    const fs::path dir = executorCampaign("exec_only_state");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/false);
+
+    // A peer host owns shard 0 and is mid-flight (`running`); this
+    // host must not "recover" it.
+    Manifest m = loadManifest(dir.string());
+    m.shards[0].status = ShardStatus::Running;
+    saveManifest(dir.string(), m);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.only = {"t.s1"};
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.executed, 1);
+    EXPECT_EQ(loadManifest(dir.string()).shards[0].status,
+              ShardStatus::Running);
+}
+
+TEST(Exec, OnlyFilterRejectsUnknownShardIds)
+{
+    const fs::path dir = executorCampaign("exec_only_bad");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/false);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.only = {"t.s1", "t.s9"};
+    ExecStats stats;
+    std::ostringstream diag;
+    const std::string error = runCampaign(request, stats, diag);
+    EXPECT_NE(error.find("unknown shard id 't.s9'"),
+              std::string::npos);
+    // Hard error: nothing ran, nothing was journaled.
+    EXPECT_EQ(stats.executed, 0);
+    EXPECT_EQ(loadManifest(dir.string()).shards[1].status,
+              ShardStatus::Pending);
+}
+
 TEST(Exec, MissingBenchIsAnInfrastructureError)
 {
     const fs::path dir = executorCampaign("exec_nobench");
