@@ -65,8 +65,11 @@ const Register reg{{
                 std::vector<Scale>{{"testbed16", 0},
                                    {"pod32", 32},
                                    {"pod64", 64},
-                                   {"pod128", 128}},
-                std::vector<Scale>{{"testbed16", 0}, {"pod32", 32}});
+                                   {"pod128", 128},
+                                   {"pod512", 512}},
+                std::vector<Scale>{{"testbed16", 0},
+                                   {"pod32", 32},
+                                   {"pod512", 512}});
             for (const Scale &s : scales) {
                 specs.push_back(
                     atScale(opt, s.label, s.podNodes, false));

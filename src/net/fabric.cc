@@ -35,6 +35,9 @@ Fabric::Fabric(Simulator &sim, Topology &topo, FabricConfig cfg,
       linkAlloc_(topo.numLinks(), 0.0),
       linkDemand_(topo.numLinks(), 0.0),
       linkCongested_(topo.numLinks(), false),
+      membership_(topo.numLinks()),
+      linkDirtyFlag_(topo.numLinks(), 0),
+      linkEpoch_(topo.numLinks(), 0),
       scratchMembers_(topo.numLinks()),
       scratchCap_(topo.numLinks(), 0.0),
       scratchUnfixed_(topo.numLinks(), 0)
@@ -47,7 +50,12 @@ Fabric::admit(FlowState state)
     state.id = nextFlowId_++;
     state.startTime = sim_.now();
     const FlowId id = state.id;
-    flows_.emplace(id, std::move(state));
+    auto [it, inserted] = flows_.emplace(id, std::move(state));
+    assert(inserted);
+    for (LinkId l : it->second.route.links) {
+        membership_.add(l, id);
+        markLinkDirty(l);
+    }
     ++started_;
     markDirty();
     return id;
@@ -87,10 +95,13 @@ bool
 Fabric::abortFlow(FlowId id)
 {
     flush();
-    const bool existed = flows_.erase(id) > 0;
-    if (existed)
-        markDirty();
-    return existed;
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return false;
+    dropFlowLinks(it->second);
+    flows_.erase(it);
+    markDirty();
+    return true;
 }
 
 void
@@ -101,6 +112,8 @@ Fabric::stallFlow(FlowId id)
     if (it == flows_.end())
         return;
     it->second.stalled = true;
+    for (LinkId l : it->second.route.links)
+        markLinkDirty(l);
     markDirty();
 }
 
@@ -112,18 +125,24 @@ Fabric::resumeFlow(FlowId id)
     if (it == flows_.end())
         return;
     it->second.stalled = false;
+    for (LinkId l : it->second.route.links)
+        markLinkDirty(l);
     markDirty();
 }
 
 void
 Fabric::setLinkUp(LinkId id, bool up)
 {
-    flush();
+    // With a coalesce window, link events batch into one deferred
+    // recompute; forcing consistency here would defeat that.
+    if (cfg_.coalesceWindow == 0)
+        flush();
     if (topo_.link(id).up == up)
         return;
     topo_.setLinkUp(id, up);
+    markLinkDirty(id);
     const std::size_t touched =
-        up ? reresolveStalledFlows() : rerouteFlowsTouching(id);
+        up ? reresolveRequestFlows() : rerouteFlowsTouching(id);
     trace::TraceScope &tr = sim_.tracer();
     if (tr.wants(trace::EventKind::PathRealloc)) {
         trace::Event tev;
@@ -135,20 +154,65 @@ Fabric::setLinkUp(LinkId id, bool up)
         tev.detail = up ? "link_up" : "link_down";
         tr.record(std::move(tev));
     }
-    markDirty();
+    markDirty(cfg_.coalesceWindow);
 }
 
 void
 Fabric::setLinkCapacityScale(LinkId id, double scale)
 {
-    flush();
+    if (cfg_.coalesceWindow == 0)
+        flush();
     topo_.setLinkCapacityScale(id, scale);
-    markDirty();
+    markLinkDirty(id);
+    trace::TraceScope &tr = sim_.tracer();
+    if (tr.wants(trace::EventKind::PathRealloc)) {
+        trace::Event tev;
+        tev.when = sim_.now();
+        tev.kind = trace::EventKind::PathRealloc;
+        tev.a = id;
+        tev.b = static_cast<std::int64_t>(membership_.memberCount(id));
+        tev.value = scale;
+        tev.detail = "link_scale";
+        tr.record(std::move(tev));
+    }
+    markDirty(cfg_.coalesceWindow);
+}
+
+void
+Fabric::setFlowRoute(FlowState &flow, Route route)
+{
+    for (LinkId l : flow.route.links) {
+        membership_.remove(l, flow.id);
+        markLinkDirty(l);
+    }
+    flow.route = std::move(route);
+    for (LinkId l : flow.route.links) {
+        membership_.add(l, flow.id);
+        markLinkDirty(l);
+    }
+    if (!flow.route.valid()) {
+        // A routeless flow has no link membership, so no component
+        // search can reach it: silence it here. Callers advance
+        // progress before rerouting, so no transmitted bytes are lost.
+        flow.baseRate = 0.0;
+        flow.rate = 0.0;
+        flow.cnpRate = 0.0;
+    }
+}
+
+void
+Fabric::dropFlowLinks(FlowState &flow)
+{
+    for (LinkId l : flow.route.links) {
+        membership_.remove(l, flow.id);
+        markLinkDirty(l);
+    }
 }
 
 std::size_t
 Fabric::rerouteFlowsTouching(LinkId id)
 {
+    advanceProgress(); // bank progress before any flow is silenced
     std::size_t touched = 0;
     for (auto &[fid, flow] : flows_) {
         const auto &links = flow.route.links;
@@ -158,23 +222,31 @@ Fabric::rerouteFlowsTouching(LinkId id)
         if (flow.hasReq) {
             // ECMP rehash among the surviving next hops: deterministic
             // per flow, so rerouted flows can concentrate (Fig. 13a).
-            flow.route = selector_.select(flow.req);
+            setFlowRoute(flow, selector_.select(flow.req));
         } else {
-            flow.route = Route{}; // explicit route died with the link
+            setFlowRoute(flow, Route{}); // explicit route died with it
         }
     }
     return touched;
 }
 
 std::size_t
-Fabric::reresolveStalledFlows()
+Fabric::reresolveRequestFlows()
 {
+    // Re-resolve every request-backed flow, not just the stalled ones:
+    // a restored link re-enters the ECMP hash, so flows rehashed onto
+    // survivors during the outage rebalance back to their pre-fault
+    // paths (selection is deterministic per request).
+    advanceProgress();
     std::size_t touched = 0;
     for (auto &[fid, flow] : flows_) {
-        if (!flow.route.valid() && flow.hasReq) {
-            ++touched;
-            flow.route = selector_.select(flow.req);
-        }
+        if (!flow.hasReq)
+            continue;
+        Route fresh = selector_.select(flow.req);
+        if (fresh.links == flow.route.links)
+            continue;
+        ++touched;
+        setFlowRoute(flow, std::move(fresh));
     }
     return touched;
 }
@@ -195,14 +267,29 @@ Fabric::advanceProgress()
 }
 
 void
-Fabric::markDirty()
+Fabric::markLinkDirty(LinkId id)
 {
-    if (dirty_)
+    auto li = static_cast<std::size_t>(id);
+    if (linkDirtyFlag_[li])
         return;
+    linkDirtyFlag_[li] = 1;
+    dirtyLinks_.push_back(id);
+}
+
+void
+Fabric::markDirty(Duration delay)
+{
+    const Time due = sim_.now() + delay;
+    if (dirty_) {
+        if (due >= recomputeDue_)
+            return; // an equal-or-earlier recompute is already pending
+        sim_.cancel(recomputeEvent_);
+    }
     dirty_ = true;
-    // Defer to the end of the current instant so a batch of flow starts
-    // (one collective round) costs a single re-allocation.
-    recomputeEvent_ = sim_.scheduleAfter(0, [this] {
+    recomputeDue_ = due;
+    // Defer at least to the end of the current instant so a batch of
+    // flow starts (one collective round) costs a single re-allocation.
+    recomputeEvent_ = sim_.scheduleAfter(delay, [this] {
         if (dirty_)
             recompute();
     });
@@ -226,24 +313,86 @@ Fabric::recompute()
     }
     ++reallocations_;
 
+    // --- component discovery -----------------------------------------
+    // The refill set is the connected component of flows reachable
+    // from dirty links through shared-link membership. Progressive
+    // filling couples flows only through shared links, so components
+    // fill independently: re-filling the closure reproduces exactly
+    // what a global rebuild would assign, while untouched flows keep
+    // their fair share and link allocations.
+    ++epoch_;
+    componentLinks_.clear();
+    const std::size_t dirtySeeds = dirtyLinks_.size();
+    const bool full = !cfg_.incrementalRecompute || allDirty_;
+    if (full) {
+        for (auto &[id, flow] : flows_) {
+            flow.visitEpoch = epoch_;
+            for (LinkId l : flow.route.links) {
+                auto li = static_cast<std::size_t>(l);
+                if (linkEpoch_[li] != epoch_) {
+                    linkEpoch_[li] = epoch_;
+                    componentLinks_.push_back(l);
+                }
+            }
+        }
+        for (LinkId l : dirtyLinks_) {
+            auto li = static_cast<std::size_t>(l);
+            if (linkEpoch_[li] != epoch_) {
+                linkEpoch_[li] = epoch_;
+                componentLinks_.push_back(l);
+            }
+        }
+    } else {
+        for (LinkId l : dirtyLinks_) {
+            auto li = static_cast<std::size_t>(l);
+            if (linkEpoch_[li] != epoch_) {
+                linkEpoch_[li] = epoch_;
+                componentLinks_.push_back(l);
+            }
+        }
+        // BFS over the bipartite link <-> flow sharing graph;
+        // componentLinks_ doubles as the queue.
+        for (std::size_t head = 0; head < componentLinks_.size();
+             ++head) {
+            for (FlowId fid :
+                 membership_.members(componentLinks_[head])) {
+                auto it = flows_.find(fid);
+                assert(it != flows_.end()); // membership is eager
+                FlowState &flow = it->second;
+                if (flow.visitEpoch == epoch_)
+                    continue;
+                flow.visitEpoch = epoch_;
+                for (LinkId l : flow.route.links) {
+                    auto li = static_cast<std::size_t>(l);
+                    if (linkEpoch_[li] != epoch_) {
+                        linkEpoch_[li] = epoch_;
+                        componentLinks_.push_back(l);
+                    }
+                }
+            }
+        }
+    }
+    for (LinkId l : dirtyLinks_)
+        linkDirtyFlag_[static_cast<std::size_t>(l)] = 0;
+    dirtyLinks_.clear();
+    allDirty_ = false;
+
     trace::TraceScope &tr = sim_.tracer();
     if (tr.wants(trace::EventKind::RecomputeBegin)) {
         trace::Event tev;
         tev.when = sim_.now();
         tev.kind = trace::EventKind::RecomputeBegin;
         tev.a = static_cast<std::int64_t>(flows_.size());
+        tev.b = static_cast<std::int64_t>(dirtySeeds);
         tr.record(std::move(tev));
     }
     // Deterministic work counter: every link scanned by the filling
     // loop and every per-flow route update counts one unit.
     std::uint64_t work = 0;
 
-    // Clear only the state the previous allocation touched.
+    // Clear only the scratch the previous filling touched.
     for (int l : scratchActiveLinks_) {
         const auto li = static_cast<std::size_t>(l);
-        linkAlloc_[li] = 0.0;
-        linkDemand_[li] = 0.0;
-        linkCongested_[li] = false;
         scratchMembers_[li].clear();
         scratchCap_[li] = 0.0;
         scratchUnfixed_[li] = 0;
@@ -251,17 +400,31 @@ Fabric::recompute()
     scratchActiveLinks_.clear();
     scratchRunnable_.clear();
 
-    // Gather runnable flows and per-link membership.
+    // Reset the persistent allocation state of the component's links;
+    // links outside it keep alloc/demand/congestion as-is.
+    for (LinkId l : componentLinks_) {
+        const auto li = static_cast<std::size_t>(l);
+        linkAlloc_[li] = 0.0;
+        linkDemand_[li] = 0.0;
+        linkCongested_[li] = false;
+    }
+
+    // Gather the component's runnable flows in flow-table order — the
+    // same order the historical full rebuild used, which keeps both
+    // floating-point accumulation and filling tie-breaks identical.
     std::vector<FlowState *> &runnable = scratchRunnable_;
     runnable.reserve(flows_.size());
     for (auto &[id, flow] : flows_) {
+        if (flow.visitEpoch != epoch_)
+            continue;
+        flow.baseRate = 0.0;
         flow.rate = 0.0;
         flow.cnpRate = 0.0;
         if (flow.stalled || !flow.route.valid() ||
             flow.remaining <= kByteEpsilon) {
             continue;
         }
-        flow.rate = -1.0; // sentinel: not yet fixed by progressive filling
+        flow.baseRate = -1.0; // sentinel: not yet fixed by filling
         runnable.push_back(&flow);
     }
 
@@ -294,7 +457,8 @@ Fabric::recompute()
         linkDemand_[li] = c > 0.0 ? linkDemand_[li] / c : 0.0;
     }
 
-    // Progressive filling: repeatedly saturate the most constrained link.
+    // Progressive filling: repeatedly saturate the most constrained
+    // link — but only over the component, never the whole fabric.
     std::size_t fixed_count = 0;
     while (fixed_count < runnable.size()) {
         double best_fair = std::numeric_limits<double>::infinity();
@@ -314,8 +478,8 @@ Fabric::recompute()
         if (best_link == kInvalidId) {
             // Remaining flows saw no constraining link; treat as idle.
             for (FlowState *f : runnable) {
-                if (f->rate < 0.0) {
-                    f->rate = 0.0;
+                if (f->baseRate < 0.0) {
+                    f->baseRate = 0.0;
                     ++fixed_count;
                 }
             }
@@ -323,10 +487,10 @@ Fabric::recompute()
         }
 
         for (FlowState *f : members[static_cast<std::size_t>(best_link)]) {
-            if (f->rate >= 0.0)
+            if (f->baseRate >= 0.0)
                 continue; // already fixed
             ++fixed_count;
-            f->rate = best_fair;
+            f->baseRate = best_fair;
             work += f->route.links.size();
             for (LinkId l : f->route.links) {
                 auto li = static_cast<std::size_t>(l);
@@ -338,11 +502,10 @@ Fabric::recompute()
     lastRecomputeOps_ = work;
     recomputeOps_ += work;
 
-    // Post-pass: link allocation totals, congestion flags, CNP rates,
-    // and the DCQCN sender-side jitter.
+    // Component post-pass: link allocation totals + congestion flags.
     for (FlowState *f : runnable) {
         for (LinkId l : f->route.links)
-            linkAlloc_[static_cast<std::size_t>(l)] += f->rate;
+            linkAlloc_[static_cast<std::size_t>(l)] += f->baseRate;
     }
     for (int l : activeLinks) {
         auto li = static_cast<std::size_t>(l);
@@ -350,25 +513,48 @@ Fabric::recompute()
         linkCongested_[li] =
             c > 0.0 && linkAlloc_[li] >= kCongestedFraction * c;
     }
-    for (FlowState *f : runnable) {
+
+    // DCQCN overlay: CNP rates and sender-side jitter. Deliberately a
+    // *global* pass even in incremental mode — it models the ongoing
+    // per-recompute CNP cadence, it is O(active flows) (never the
+    // bottleneck the filling loop was), and walking every active flow
+    // in flow-table order consumes the RNG stream exactly as the
+    // historical full rebuild did, keeping golden CSVs byte-identical.
+    for (auto &[id, flow] : flows_) {
+        if (flow.stalled || !flow.route.valid() ||
+            flow.remaining <= kByteEpsilon) {
+            continue; // kept at zero rate by the refill invariants
+        }
         double overload = 0.0;
         bool congested = false;
-        for (LinkId l : f->route.links) {
+        for (LinkId l : flow.route.links) {
             auto li = static_cast<std::size_t>(l);
             if (linkCongested_[li]) {
                 congested = true;
                 overload = std::max(overload, linkDemand_[li] - 1.0);
             }
         }
+        flow.rate = flow.baseRate;
         if (congested) {
-            f->cnpRate = cfg_.cnpRatePerOverload * std::max(0.0, overload) *
-                         (1.0 + cfg_.cnpNoise * (2.0 * rng_.uniform() - 1.0));
+            flow.cnpRate =
+                cfg_.cnpRatePerOverload * std::max(0.0, overload) *
+                (1.0 + cfg_.cnpNoise * (2.0 * rng_.uniform() - 1.0));
             if (cfg_.congestionJitter) {
                 // DCQCN rate reduction has a per-QP persistent bias
                 // (each sender's CNP cadence differs) plus temporal
                 // noise; the bias is what spreads task averages apart
-                // in the paper's Fig. 10b.
-                std::uint32_t h = f->req.flowLabel * 0x9E3779B9u + 0x7F;
+                // in the paper's Fig. 10b. Explicit-route flows (C4P
+                // probers) have no request, so their bias derives
+                // from the flow id — a shared flowLabel of 0 would
+                // give every prober the identical persistent bias.
+                const std::uint32_t ident =
+                    flow.hasReq
+                        ? flow.req.flowLabel
+                        : static_cast<std::uint32_t>(
+                              static_cast<std::uint64_t>(flow.id) *
+                              0x9E3779B97F4A7C15ull >>
+                              32);
+                std::uint32_t h = ident * 0x9E3779B9u + 0x7F;
                 h ^= h >> 15;
                 h *= 0x85EBCA6Bu;
                 h ^= h >> 13;
@@ -376,18 +562,24 @@ Fabric::recompute()
                     static_cast<double>(h % 1024u) / 1023.0;
                 const double u =
                     0.5 * stable + 0.5 * rng_.uniform();
-                f->rate *= 1.0 - cfg_.jitterMax * u;
+                flow.rate = flow.baseRate * (1.0 - cfg_.jitterMax * u);
             }
+        } else {
+            flow.cnpRate = 0.0;
         }
     }
 
     // Rebuild the per-(node, nic) CNP aggregate so nicCnpRate() is a
     // lookup instead of an O(flows) scan per polled NIC.
     nicCnp_.clear();
-    for (const FlowState *f : runnable) {
-        if (f->hasReq && f->cnpRate > 0.0)
-            nicCnp_[nicKey(f->req.srcNode, f->req.srcNic)] +=
-                f->cnpRate;
+    for (const auto &[id, flow] : flows_) {
+        if (!flow.hasReq || flow.cnpRate <= 0.0)
+            continue;
+        if (flow.stalled || !flow.route.valid() ||
+            flow.remaining <= kByteEpsilon)
+            continue;
+        nicCnp_[nicKey(flow.req.srcNode, flow.req.srcNic)] +=
+            flow.cnpRate;
     }
 
     if (tr.wants(trace::EventKind::RecomputeEnd)) {
@@ -400,19 +592,29 @@ Fabric::recompute()
         tr.record(std::move(tev));
     }
 
-    // Schedule the next completion.
+    // Schedule the next completion (a global scan: any flow's rate may
+    // have changed through the jitter overlay).
     if (completionEvent_ != kInvalidEvent) {
         sim_.cancel(completionEvent_);
         completionEvent_ = kInvalidEvent;
     }
     Time next = kTimeNever;
-    for (FlowState *f : runnable) {
-        if (f->rate <= 0.0)
+    const double horizon = static_cast<double>(kTimeNever - sim_.now());
+    for (auto &[id, flow] : flows_) {
+        if (flow.rate <= 0.0 || flow.stalled || !flow.route.valid() ||
+            flow.remaining <= kByteEpsilon)
             continue;
-        const double secs = f->remaining * 8.0 / f->rate;
+        const double delay_ns =
+            flow.remaining * 8.0 / flow.rate * 1e9;
+        // A flow squeezed to a near-zero fair share finishes beyond
+        // the representable horizon; casting that to Duration would
+        // overflow int64 (UB). It is effectively stalled: schedule
+        // nothing and let the next allocation change revisit it.
+        if (!(delay_ns < horizon))
+            continue;
         const Time t =
             sim_.now() +
-            std::max<Duration>(1, static_cast<Duration>(secs * 1e9));
+            std::max<Duration>(1, static_cast<Duration>(delay_ns));
         next = std::min(next, t);
     }
     // Flows that were already at (or below) epsilon complete now.
@@ -437,6 +639,7 @@ Fabric::onCompletionEvent()
     std::vector<FlowState> done;
     for (auto it = flows_.begin(); it != flows_.end();) {
         if (it->second.remaining <= kByteEpsilon) {
+            dropFlowLinks(it->second);
             done.push_back(std::move(it->second));
             it = flows_.erase(it);
         } else {
@@ -502,6 +705,8 @@ Fabric::flowRemaining(FlowId id)
 Bandwidth
 Fabric::linkThroughput(LinkId id)
 {
+    if (id < 0 || static_cast<std::size_t>(id) >= topo_.numLinks())
+        return 0.0;
     flush();
     return linkAlloc_[static_cast<std::size_t>(id)];
 }
@@ -509,6 +714,8 @@ Fabric::linkThroughput(LinkId id)
 bool
 Fabric::linkCongested(LinkId id)
 {
+    if (id < 0 || static_cast<std::size_t>(id) >= topo_.numLinks())
+        return false;
     flush();
     return linkCongested_[static_cast<std::size_t>(id)];
 }
@@ -516,6 +723,8 @@ Fabric::linkCongested(LinkId id)
 double
 Fabric::linkDemandRatio(LinkId id)
 {
+    if (id < 0 || static_cast<std::size_t>(id) >= topo_.numLinks())
+        return 0.0;
     flush();
     return linkDemand_[static_cast<std::size_t>(id)];
 }

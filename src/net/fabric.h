@@ -14,6 +14,20 @@
  * allocation: flows crossing saturated links receive CNPs and exhibit a
  * small sender-side rate fluctuation (paper Fig. 11's 12.5-17.5 kp/s band
  * and Fig. 10b's residual spread).
+ *
+ * Re-allocation is *incremental*: the fabric tracks dirty links (link
+ * up/down, capacity scaling, membership changes from flow
+ * start/end/abort/stall) and re-runs progressive filling only over the
+ * connected component of flows reachable from dirty links through
+ * shared-link membership. Progressive filling couples flows only
+ * through shared links, so components fill independently and the
+ * component-scoped result is exactly the global one; flows outside the
+ * component keep their fair-share rates and link allocations. The
+ * stochastic DCQCN overlay (CNP noise + sender jitter) remains a cheap
+ * global pass so its RNG stream — and therefore every existing golden
+ * CSV — is byte-identical to the historical full-rebuild allocator.
+ * Set FabricConfig::incrementalRecompute = false to force the old
+ * every-flow rebuild (the shadow reference for equivalence tests).
  */
 
 #ifndef C4_NET_FABRIC_H
@@ -53,6 +67,28 @@ struct FabricConfig
 
     /** Multiplicative noise applied to CNP rates on each re-allocation. */
     double cnpNoise = 0.15;
+
+    /**
+     * Scope progressive filling to the dirty-link connected component
+     * (see the file header). Off, every recompute rebuilds all flows —
+     * the historical behaviour, kept as the equivalence-test shadow.
+     * Both modes produce identical allocations.
+     */
+    bool incrementalRecompute = true;
+
+    /**
+     * Coalesce window for link events (up/down, capacity scaling):
+     * instead of re-allocating at the same instant, the recompute is
+     * deferred by this much so a storm of link events inside the
+     * window costs a single re-fill. 0 (the default) re-allocates
+     * immediately, exactly as before. Flow events (start/completion/
+     * abort/stall) always recompute immediately; a query (flush)
+     * forces consistency regardless. With a nonzero window, flows keep
+     * progressing at their pre-event rates until the deferred
+     * recompute fires — an explicit modelling tradeoff for fault
+     * storms, not a default.
+     */
+    Duration coalesceWindow = 0;
 };
 
 /** Completion notice passed to a flow's callback. */
@@ -127,7 +163,9 @@ class Fabric
     /**
      * Bring a link up/down. Downing reroutes affected flows via ECMP
      * rehash among survivors (or stalls them when no path remains);
-     * restoring re-resolves all request-backed flows.
+     * restoring re-resolves all request-backed flows, so flows that
+     * were rehashed onto survivors during the outage rebalance back
+     * once the link heals (the paper's Fig. 12/13 recovery).
      */
     void setLinkUp(LinkId id, bool up);
 
@@ -141,13 +179,16 @@ class Fabric
     const Route *flowRoute(FlowId id) const;
     Bytes flowRemaining(FlowId id);
 
-    /** Instantaneous allocated rate through a link. */
+    /** Instantaneous allocated rate through a link (0 if @p id is
+     * out of range). */
     Bandwidth linkThroughput(LinkId id);
 
-    /** True if the link is allocated to (nearly) full capacity. */
+    /** True if the link is allocated to (nearly) full capacity
+     * (false if @p id is out of range). */
     bool linkCongested(LinkId id);
 
-    /** Sum of flows' unconstrained demands divided by capacity. */
+    /** Sum of flows' unconstrained demands divided by capacity
+     * (0 if @p id is out of range). */
     double linkDemandRatio(LinkId id);
 
     /**
@@ -166,8 +207,10 @@ class Fabric
      * Deterministic cost model of recompute(): progressive-filling
      * work units (link scans + per-flow route updates) accumulated
      * over all re-allocations. Seed-stable — unlike wall clock — so
-     * it can gate regressions and feed trace events; the companion
-     * of the ROADMAP's "profile Fabric::recompute" item.
+     * it can gate regressions and feed trace events. With incremental
+     * recompute the counter only accrues component-scoped work, which
+     * is exactly the asymptotic win the fabric_recompute_ops golden
+     * CSV locks in.
      */
     std::uint64_t recomputeOpsTotal() const { return recomputeOps_; }
 
@@ -188,9 +231,13 @@ class Fabric
         double remaining = 0.0; // bytes
         Bytes total = 0;
         Time startTime = 0;
-        double rate = 0.0; // bits/s
+        double baseRate = 0.0; // pure fair share, bits/s
+        double rate = 0.0;     // post-jitter sending rate, bits/s
         double cnpRate = 0.0;
         bool stalled = false;
+        // Component-closure visit stamp; flows whose stamp matches the
+        // fabric's current recompute epoch are being re-filled.
+        std::uint64_t visitEpoch = 0;
         FlowCallback done;
     };
 
@@ -208,12 +255,33 @@ class Fabric
 
     Time lastAdvance_ = 0;
     bool dirty_ = false;
+    Time recomputeDue_ = 0; // when the pending deferred recompute fires
     EventId recomputeEvent_ = kInvalidEvent;
     EventId completionEvent_ = kInvalidEvent;
 
+    // Persistent allocation state: with incremental recompute these
+    // survive across re-allocations and only the links of the dirty
+    // component are rewritten.
     std::vector<double> linkAlloc_;  // bits/s currently allocated
     std::vector<double> linkDemand_; // demand ratio
     std::vector<bool> linkCongested_;
+
+    // Persistent link -> flow-id membership mirror of every admitted
+    // flow's current route; the edge set of the component search.
+    LinkMembershipIndex membership_;
+
+    // Dirty-link accumulator between recomputes.
+    std::vector<LinkId> dirtyLinks_;
+    std::vector<char> linkDirtyFlag_;
+    // Escape hatch: force the next recompute to rebuild every flow
+    // (equivalent to dirtying all links). Every mutation path dirties
+    // its links eagerly, so this stays false in normal operation.
+    bool allDirty_ = false;
+
+    // Component-closure stamps (flows carry theirs in FlowState).
+    std::uint64_t epoch_ = 0;
+    std::vector<std::uint64_t> linkEpoch_;
+    std::vector<LinkId> componentLinks_;
 
     // Reused allocation scratch (recompute runs on every flow event;
     // per-call vector-of-vectors allocation dominated profiles).
@@ -234,8 +302,21 @@ class Fabric
     /** Apply elapsed time to flows' remaining bytes. */
     void advanceProgress();
 
-    /** Mark allocation stale and schedule a recompute at now. */
-    void markDirty();
+    /**
+     * Mark allocation stale and schedule a recompute @p delay from
+     * now (0 = end of the current instant). A pending later recompute
+     * is pulled forward; an earlier one is kept.
+     */
+    void markDirty(Duration delay = 0);
+
+    /** Flag one link as needing re-fill at the next recompute. */
+    void markLinkDirty(LinkId id);
+
+    /** Point @p flow at @p route, maintaining membership + dirt. */
+    void setFlowRoute(FlowState &flow, Route route);
+
+    /** Unregister a departing flow's route links, dirtying them. */
+    void dropFlowLinks(FlowState &flow);
 
     /** Recompute fair-share rates and schedule the next completion. */
     void recompute();
@@ -248,7 +329,7 @@ class Fabric
 
     /** @return the number of flows whose routes were touched. */
     std::size_t rerouteFlowsTouching(LinkId id);
-    std::size_t reresolveStalledFlows();
+    std::size_t reresolveRequestFlows();
 };
 
 } // namespace c4::net

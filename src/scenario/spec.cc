@@ -71,6 +71,8 @@ validateSpec(const ScenarioSpec &spec)
         return err(spec, "backupNodes must be >= 0");
     if (spec.features.backupNodes > 0 && !spec.features.c4d)
         return err(spec, "backup nodes need C4D enabled");
+    if (spec.features.fabricCoalesceWindow < 0)
+        return err(spec, "fabricCoalesceWindow must be >= 0");
 
     std::set<JobId> ids;
     for (const JobSpec &job : spec.jobs) {

@@ -67,6 +67,14 @@ struct FeatureSpec
     bool isolateOnSlow = true;
     Duration isolationDelay = 0;  ///< 0 keeps the default
     int backupNodes = 0;          ///< warm spares for steering
+
+    /**
+     * Fabric re-allocation coalesce window for link events
+     * (FabricConfig::coalesceWindow): during a fault storm, link
+     * up/down and capacity-scale events within the window fold into a
+     * single incremental recompute. 0 keeps the default (immediate).
+     */
+    Duration fabricCoalesceWindow = 0;
 };
 
 /** One training job of the workload. */

@@ -69,6 +69,8 @@ toClusterConfig(const ScenarioSpec &spec, std::uint64_t seed)
     cc.steering.isolateOnSlow = f.isolateOnSlow;
     if (f.isolationDelay > 0)
         cc.steering.isolationDelay = f.isolationDelay;
+    if (f.fabricCoalesceWindow > 0)
+        cc.fabric.coalesceWindow = f.fabricCoalesceWindow;
 
     cc.seed = seed;
     return cc;

@@ -515,6 +515,7 @@ bindFeatures(const Json &doc, FeatureSpec &out,
     b.get("isolate_on_slow", out.isolateOnSlow);
     b.getSeconds("isolation_delay_s", out.isolationDelay);
     b.get("backup_nodes", out.backupNodes);
+    b.getSeconds("fabric_coalesce_window_s", out.fabricCoalesceWindow);
     b.finish();
 }
 
@@ -872,6 +873,9 @@ featuresToJson(const FeatureSpec &f)
         add(o, "isolation_delay_s", jsonSeconds(f.isolationDelay));
     if (f.backupNodes != def.backupNodes)
         add(o, "backup_nodes", jsonInt(f.backupNodes));
+    if (f.fabricCoalesceWindow != def.fabricCoalesceWindow)
+        add(o, "fabric_coalesce_window_s",
+            jsonSeconds(f.fabricCoalesceWindow));
     return o;
 }
 

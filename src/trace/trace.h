@@ -55,13 +55,17 @@ namespace c4::trace {
  *                     b=1 for a re-pin (0 initial), detail="alloc"/
  *                     "repin"; fabric link events: a=link id, b=up,
  *                     value=#flows rerouted, detail="link_up"/
- *                     "link_down"
+ *                     "link_down"; capacity scaling: a=link id,
+ *                     b=#flows routed over the link, value=scale,
+ *                     detail="link_scale"
  *   CnpSample         a=#NICs with a nonzero rate this tick,
  *                     value=mean kp/s over them
  *   JobArrival        job, a=#nodes, detail=job name
  *   JobDeparture      job, a=#nodes
- *   RecomputeBegin    a=#admitted flows
- *   RecomputeEnd      a=#runnable flows, b=#active links,
+ *   RecomputeBegin    a=#admitted flows, b=#dirty links seeding the
+ *                     incremental component search
+ *   RecomputeEnd      a=#re-filled (runnable component) flows,
+ *                     b=#active component links,
  *                     value=progressive-filling work (ops)
  */
 enum class EventKind : std::uint8_t {

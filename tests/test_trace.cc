@@ -249,6 +249,62 @@ TEST(Fabric, LinkStateChangesEmitPathReallocEvents)
     EXPECT_EQ(details[1], "link_up");
 }
 
+TEST(Fabric, CapacityScalingEmitsLinkScalePathRealloc)
+{
+    TraceRecorder recorder;
+    testutil::FabricHarness h;
+    h.sim.setTracer(TraceScope(&recorder));
+
+    h.fabric.startFlow(h.request(0, 4, 1), gib(4), nullptr);
+    (void)h.fabric.flowRate(1);
+    const LinkId uplink =
+        h.topo.hostUplink(0, 0, net::Plane::Left);
+    const bool used =
+        h.fabric.flowRoute(1) != nullptr &&
+        !h.fabric.flowRoute(1)->links.empty() &&
+        h.fabric.flowRoute(1)->links.front() == uplink;
+    h.fabric.setLinkCapacityScale(uplink, 0.5);
+    (void)h.fabric.flowRate(1);
+
+    const Event *scale = nullptr;
+    for (const Event &ev : recorder.events())
+        if (ev.kind == EventKind::PathRealloc &&
+            ev.detail == "link_scale")
+            scale = &ev;
+    ASSERT_NE(scale, nullptr);
+    EXPECT_EQ(scale->a, uplink);
+    EXPECT_DOUBLE_EQ(scale->value, 0.5);
+    if (used)
+        EXPECT_EQ(scale->b, 1); // one flow routed over the link
+}
+
+TEST(Fabric, RecomputeBeginReportsDirtyLinkSeeds)
+{
+    TraceRecorder recorder;
+    testutil::FabricHarness h;
+    h.sim.setTracer(TraceScope(&recorder));
+
+    h.fabric.startFlow(h.request(0, 4, 1), gib(4), nullptr);
+    (void)h.fabric.flowRate(1);
+    const std::size_t priorBegins = [&] {
+        std::size_t n = 0;
+        for (const Event &ev : recorder.events())
+            n += ev.kind == EventKind::RecomputeBegin;
+        return n;
+    }();
+
+    // A pure link event dirties exactly one link.
+    h.fabric.setLinkCapacityScale(h.topo.trunkUplink(7, 7), 0.9);
+    (void)h.fabric.flowRate(1);
+
+    std::vector<const Event *> begins;
+    for (const Event &ev : recorder.events())
+        if (ev.kind == EventKind::RecomputeBegin)
+            begins.push_back(&ev);
+    ASSERT_EQ(begins.size(), priorBegins + 1);
+    EXPECT_EQ(begins.back()->b, 1); // one dirty seed link
+}
+
 // --- runner integration ----------------------------------------------
 
 /** A tiny traced workload: seed-paired ECMP/C4P allreduces plus one
