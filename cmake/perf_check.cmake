@@ -1,0 +1,50 @@
+# perf-smoke gate, run as `cmake -P` from CTest: run the wall-clock
+# harness in 1-rep smoke mode and check the JSON report parses at the
+# schema level (schema tag, every workload block, the kernel ratios).
+# The *numbers* are machine-dependent and deliberately not checked —
+# the golden gate pins values, this gate pins that the harness and its
+# report format keep working in every build type (Debug/Release/ASan).
+#
+# Inputs: BENCH (c4bench path), OUT (scratch JSON to write).
+
+get_filename_component(out_dir "${OUT}" DIRECTORY)
+file(MAKE_DIRECTORY "${out_dir}")
+
+execute_process(
+    COMMAND "${BENCH}" --perf --smoke --perf-reps 1 --perf-warmup 0
+            --perf-json "${OUT}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "c4bench --perf exited with ${run_rc}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+    message(FATAL_ERROR "c4bench --perf wrote no JSON at ${OUT}")
+endif()
+file(READ "${OUT}" report)
+
+foreach(needle
+        "\"schema\": \"c4perf/1\""
+        "\"mode\": \"smoke\""
+        "\"workloads\""
+        "\"ratios\""
+        "\"kernel_sched_fire_pooled\""
+        "\"kernel_sched_fire_legacy\""
+        "\"kernel_cancel_churn_pooled\""
+        "\"kernel_cancel_churn_legacy\""
+        "\"kernel_burst_drain_pooled\""
+        "\"kernel_burst_drain_legacy\""
+        "\"scenario_fabric_recompute\""
+        "\"scenario_churn_multijob_smoke\""
+        "\"median_ns\""
+        "\"items_per_sec_median\""
+        "\"pooled_vs_legacy_median\"")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+            "perf JSON at ${OUT} is missing ${needle} — the c4perf/1 "
+            "schema changed; update cmake/perf_check.cmake and the "
+            "README schema table together")
+    endif()
+endforeach()

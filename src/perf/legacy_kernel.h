@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The pre-pooled event kernel, preserved verbatim for side-by-side
+ * wall-clock measurement (`c4bench --perf`).
+ *
+ * This is the Simulator the repo shipped before the pooled rewrite: a
+ * `std::priority_queue` of (when, seq, id) entries over an
+ * `unordered_map<EventId, std::function>` of live callbacks. Every
+ * schedule pays a map-node allocation (plus a std::function heap
+ * allocation once the capture outgrows its small buffer), every fire
+ * pays a find + move + erase, and run() probes the map once more per
+ * peek while skipping tombstones. Keeping it compiled — not just in
+ * git history — means every future `BENCH_7.json` keeps an honest
+ * baseline column, and the equivalence tests can hold the pooled
+ * kernel to the exact legacy fire order.
+ *
+ * Only the event-kernel surface is replicated (schedule / cancel /
+ * run / step / clear / introspection); tracing and PeriodicTask are
+ * not part of the measured contract.
+ */
+
+#ifndef C4_PERF_LEGACY_KERNEL_H
+#define C4_PERF_LEGACY_KERNEL_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace c4::perf {
+
+/** Event handle; same width and invalid value as the real kernel. */
+using LegacyEventId = std::uint64_t;
+constexpr LegacyEventId kLegacyInvalidEvent = 0;
+
+class LegacySimulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Time now() const { return now_; }
+
+    LegacyEventId
+    scheduleAt(Time when, Callback fn)
+    {
+        assert(fn);
+        if (when < now_)
+            when = now_; // clamp: events cannot fire in the past
+        const LegacyEventId id = nextId_++;
+        queue_.push(Entry{when, nextSeq_++, id});
+        live_.emplace(id, std::move(fn));
+        return id;
+    }
+
+    LegacyEventId
+    scheduleAfter(Duration delay, Callback fn)
+    {
+        assert(delay >= 0);
+        // Saturate instead of overflowing for "never"-ish delays.
+        const Time when =
+            delay >= kTimeNever - now_ ? kTimeNever : now_ + delay;
+        return scheduleAt(when, std::move(fn));
+    }
+
+    bool cancel(LegacyEventId id) { return live_.erase(id) > 0; }
+
+    bool pending(LegacyEventId id) const { return live_.count(id) > 0; }
+
+    std::size_t pendingCount() const { return live_.size(); }
+
+    bool
+    step()
+    {
+        while (!queue_.empty()) {
+            Entry top = queue_.top();
+            queue_.pop();
+            auto it = live_.find(top.id);
+            if (it == live_.end())
+                continue; // cancelled; skip tombstone
+            Callback fn = std::move(it->second);
+            live_.erase(it);
+            now_ = top.when;
+            ++executed_;
+            fn();
+            return true;
+        }
+        return false;
+    }
+
+    std::uint64_t
+    run(Time until = kTimeNever)
+    {
+        std::uint64_t n = 0;
+        while (!queue_.empty()) {
+            // Peek past tombstones to find the next live event time.
+            while (!queue_.empty() && !live_.count(queue_.top().id))
+                queue_.pop();
+            if (queue_.empty())
+                break;
+            if (queue_.top().when > until)
+                break;
+            if (step())
+                ++n;
+        }
+        if (until != kTimeNever && now_ < until)
+            now_ = until;
+        return n;
+    }
+
+    void
+    clear()
+    {
+        queue_ = {};
+        live_.clear();
+    }
+
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq; // tie-break: FIFO among same-time events
+        LegacyEventId id;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    LegacyEventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    std::unordered_map<LegacyEventId, Callback> live_;
+};
+
+} // namespace c4::perf
+
+#endif // C4_PERF_LEGACY_KERNEL_H

@@ -1,84 +1,323 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace c4 {
 
-EventId
-Simulator::scheduleAt(Time when, Callback fn)
+Simulator::~Simulator()
 {
-    assert(fn);
-    if (when < now_)
-        when = now_; // clamp: events cannot fire in the past
-    const EventId id = nextId_++;
-    queue_.push(Entry{when, nextSeq_++, id});
-    live_.emplace(id, std::move(fn));
-    return id;
+    clear();
+}
+
+Simulator::Slot &
+Simulator::slotRef(std::uint32_t idx)
+{
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+}
+
+const Simulator::Slot &
+Simulator::slotRef(std::uint32_t idx) const
+{
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+}
+
+std::uint32_t
+Simulator::allocSlot()
+{
+    if (freeHead_ != kNoSlot) {
+        const std::uint32_t idx = freeHead_;
+        freeHead_ = slotRef(idx).nextFree;
+        return idx;
+    }
+    if (slotCount_ % kChunkSlots == 0)
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    return slotCount_++;
+}
+
+void
+Simulator::compactFar()
+{
+    Time minWhen = kTimeNever;
+    std::size_t w = 0;
+    for (const HeapEntry &e : far_) {
+        if (slotRef(e.slot).gen != e.gen)
+            continue;
+        if (e.when < minWhen)
+            minWhen = e.when;
+        far_[w++] = e;
+    }
+    far_.resize(w);
+    deadInFar_ = 0;
+    farMin_ = minWhen;
+}
+
+void
+Simulator::markDead(Slot &s)
+{
+    s.ops = nullptr;
+    // Generation 0 is reserved so no valid EventId is ever 0
+    // (kInvalidEvent); skip it on wrap.
+    if (++s.gen == 0)
+        s.gen = 1;
+}
+
+void
+Simulator::pushFree(Slot &s, std::uint32_t idx)
+{
+    s.heap = nullptr;
+    s.nextFree = freeHead_;
+    freeHead_ = idx;
+}
+
+void
+Simulator::destroySlot(std::uint32_t idx)
+{
+    Slot &s = slotRef(idx);
+    if (s.heap)
+        s.ops->destroy(s.heap, true);
+    else if (!s.ops->trivialDtor)
+        s.ops->destroy(s.inlineBuf, false);
+    markDead(s);
+    pushFree(s, idx);
 }
 
 EventId
-Simulator::scheduleAfter(Duration delay, Callback fn)
+Simulator::finishSchedule(Time when, std::uint32_t slot)
 {
-    assert(delay >= 0);
-    // Saturate instead of overflowing for "never"-ish delays.
-    const Time when =
-        delay >= kTimeNever - now_ ? kTimeNever : now_ + delay;
-    return scheduleAt(when, std::move(fn));
+    if (when < now_)
+        when = now_; // clamp: events cannot fire in the past
+    Slot &s = slotRef(slot);
+    s.when = when;
+    const HeapEntry e{when, nextSeq_++, slot, s.gen};
+    if (when <= horizon_) {
+        heapPush(e);
+    } else {
+        if (when < farMin_)
+            farMin_ = when;
+        far_.push_back(e);
+    }
+    ++liveCount_;
+    return makeId(slot, s.gen);
+}
+
+void
+Simulator::heapPush(const HeapEntry &e)
+{
+    // Sift-up through the 4-ary heap, moving holes instead of swapping.
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!entryBefore(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+Simulator::siftDown(std::size_t i)
+{
+    const HeapEntry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (entryBefore(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!entryBefore(heap_[best], e))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = e;
+}
+
+void
+Simulator::heapPopTop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
 }
 
 bool
 Simulator::cancel(EventId id)
 {
-    return live_.erase(id) > 0;
+    if (!pending(id))
+        return false;
+    const std::uint32_t slot = slotOf(id);
+    // The entry stays behind as a tombstone; compact once dead entries
+    // outnumber live ones (more than half the container). Far entries
+    // are always > horizon_ (promote() maintains this), so the slot's
+    // stored deadline tells us which container holds the tombstone.
+    const bool inFar = slotRef(slot).when > horizon_;
+    destroySlot(slot);
+    --liveCount_;
+    if (inFar) {
+        if (++deadInFar_ * 2 > far_.size())
+            compactFar();
+    } else if (++deadInHeap_ * 2 > heap_.size()) {
+        compact();
+    }
+    return true;
 }
 
 bool
 Simulator::pending(EventId id) const
 {
-    return live_.count(id) > 0;
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slotCount_)
+        return false;
+    const Slot &s = slotRef(slot);
+    return s.ops != nullptr && s.gen == genOf(id);
 }
 
-std::size_t
-Simulator::pendingCount() const
+void
+Simulator::compact()
 {
-    return live_.size();
+    std::erase_if(heap_, [this](const HeapEntry &e) {
+        return slotRef(e.slot).gen != e.gen;
+    });
+    // Floyd heapify from the last parent, (size-2)/4, down to the
+    // root; the pop order is layout-independent (entryBefore is a
+    // strict total order), so rebuilding cannot reorder events.
+    for (std::size_t i = (heap_.size() + 2) / 4; i-- > 0;)
+        siftDown(i);
+    deadInHeap_ = 0;
+}
+
+void
+Simulator::promote()
+{
+    // Pass 1: earliest deadline in the far band, tombstones included —
+    // a pure sequential scan with no slot touches. A tombstone can
+    // only pull the horizon lower (promote fewer), never reorder
+    // anything; if the whole batch turns out stale, the partition pass
+    // below scrubs every tombstone and the caller retries once against
+    // a clean band.
+    Time minWhen = far_.front().when;
+    for (const HeapEntry &e : far_) {
+        if (e.when < minWhen)
+            minWhen = e.when;
+    }
+    horizon_ = minWhen >= kTimeNever - bandWidth_ ? kTimeNever
+                                                  : minWhen + bandWidth_;
+    // Pass 2: partition — drop stale entries, move the new band into
+    // the empty heap, keep the rest (tracking their exact minimum).
+    // Then Floyd-heapify (pop order is layout-independent, see
+    // entryBefore).
+    std::size_t w = 0;
+    Time keptMin = kTimeNever;
+    for (const HeapEntry &e : far_) {
+        if (slotRef(e.slot).gen != e.gen)
+            continue;
+        if (e.when <= horizon_) {
+            heap_.push_back(e);
+        } else {
+            if (e.when < keptMin)
+                keptMin = e.when;
+            far_[w++] = e;
+        }
+    }
+    far_.resize(w);
+    deadInFar_ = 0;
+    farMin_ = keptMin;
+    for (std::size_t i = (heap_.size() + 2) / 4; i-- > 0;)
+        siftDown(i);
+    // Adapt the horizon step toward a batch that is a fixed fraction
+    // of the band (so a burst of n far events drains in O(1) scans per
+    // event, never O(n) scans of n) with an absolute floor (so small
+    // simulations widen until the band never engages and pay nothing
+    // over a single heap) and an absolute ceiling on how small the
+    // batch may be forced (keeping the near heap, and its sift depth,
+    // shallow in steady state).
+    const std::size_t promoted = heap_.size();
+    const std::size_t total = promoted + w;
+    if ((promoted < 128 || promoted * 8 < total) &&
+        bandWidth_ < (kTimeNever >> 2))
+        bandWidth_ *= 2;
+    else if (promoted > 256 && promoted * 2 > total && bandWidth_ > 1)
+        bandWidth_ /= 2;
+}
+
+bool
+Simulator::fireNext(Time until)
+{
+    for (;;) {
+        if (heap_.empty()) {
+            // farMin_ is a conservative lower bound (cancellations can
+            // leave it low, never high), so this skip is always safe —
+            // it keeps sliced run(until) calls from rescanning a far
+            // band whose earliest deadline is beyond the slice.
+            if (far_.empty() || farMin_ > until)
+                return false;
+            promote();
+            continue; // all-stale band leaves both empty; recheck
+        }
+        const HeapEntry top = heap_.front();
+        Slot &s = slotRef(top.slot);
+        if (s.gen != top.gen) { // cancelled; drop the tombstone
+            heapPopTop();
+            --deadInHeap_;
+            continue;
+        }
+        if (top.when > until)
+            return false;
+        heapPopTop();
+        // Fire in place. Mark the slot dead first so the callback sees
+        // its own event as no longer pending (and a clear() from
+        // inside it skips this slot); recycle the slot only after the
+        // call returns, so a schedule from the callback cannot reuse
+        // the storage the callable still occupies.
+        const CallbackOps *ops = s.ops;
+        void *heapPtr = s.heap;
+        void *p = heapPtr ? heapPtr : s.inlineBuf;
+        markDead(s);
+        --liveCount_;
+        now_ = top.when;
+        ++executed_;
+        struct FireGuard
+        {
+            Simulator *sim;
+            Slot *s;
+            const CallbackOps *ops;
+            void *p;
+            void *heapPtr;
+            std::uint32_t slot;
+            ~FireGuard()
+            {
+                if (heapPtr)
+                    ops->destroy(heapPtr, true);
+                else if (!ops->trivialDtor)
+                    ops->destroy(p, false);
+                sim->pushFree(*s, slot);
+            }
+        } guard{this, &s, ops, p, heapPtr, top.slot};
+        ops->invoke(p);
+        return true;
+    }
 }
 
 bool
 Simulator::step()
 {
-    while (!queue_.empty()) {
-        Entry top = queue_.top();
-        queue_.pop();
-        auto it = live_.find(top.id);
-        if (it == live_.end())
-            continue; // cancelled; skip tombstone
-        Callback fn = std::move(it->second);
-        live_.erase(it);
-        now_ = top.when;
-        ++executed_;
-        fn();
-        return true;
-    }
-    return false;
+    return fireNext(kTimeNever);
 }
 
 std::uint64_t
 Simulator::run(Time until)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty()) {
-        // Peek past tombstones to find the next live event time.
-        while (!queue_.empty() && !live_.count(queue_.top().id))
-            queue_.pop();
-        if (queue_.empty())
-            break;
-        if (queue_.top().when > until)
-            break;
-        if (step())
-            ++n;
-    }
+    while (fireNext(until))
+        ++n;
     if (until != kTimeNever && now_ < until)
         now_ = until;
     return n;
@@ -87,8 +326,23 @@ Simulator::run(Time until)
 void
 Simulator::clear()
 {
-    queue_ = {};
-    live_.clear();
+    // Every live event has exactly one entry in one band; destroy
+    // those callables, then drop both bands wholesale. now_, executed_
+    // and nextSeq_ survive (see the header contract).
+    for (const HeapEntry &e : heap_) {
+        if (slotRef(e.slot).gen == e.gen)
+            destroySlot(e.slot);
+    }
+    for (const HeapEntry &e : far_) {
+        if (slotRef(e.slot).gen == e.gen)
+            destroySlot(e.slot);
+    }
+    heap_.clear();
+    deadInHeap_ = 0;
+    far_.clear();
+    deadInFar_ = 0;
+    farMin_ = kTimeNever;
+    liveCount_ = 0;
 }
 
 PeriodicTask::PeriodicTask(Simulator &sim, Duration period, Callback fn)

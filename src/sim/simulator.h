@@ -6,15 +6,57 @@
  * collective rounds, fault arrivals, C4D polling, checkpoint timers) is an
  * event on a single Simulator. Events at equal timestamps fire in
  * scheduling order, which keeps runs deterministic for a given seed.
+ *
+ * The kernel is a pooled, intrusive event store built for zero
+ * steady-state allocation:
+ *
+ *  - Callbacks live in a free-list slab of fixed slots, grown in
+ *    never-moved chunks. Each slot has an inline small-buffer
+ *    (kInlineCallbackBytes) sized for the codebase's capture patterns
+ *    (`[this]`, `[this, id, epoch]`, a std::function plus bookkeeping
+ *    pointers); only oversized captures fall back to one heap
+ *    allocation.
+ *  - An EventId encodes {slot index, generation}; cancel() and
+ *    pending() are O(1) array probes, no hash map. The generation
+ *    bumps every time a slot is freed, so a stale handle for a reused
+ *    slot can never cancel its successor (the 32-bit generation would
+ *    have to wrap exactly 2^32 times between issue and use).
+ *  - Ordering is two-banded. Events due soon (when <= horizon_) sit in
+ *    a 4-ary min-heap; events beyond the horizon sit in an unsorted
+ *    far band with O(1) append. When the heap drains, the horizon
+ *    advances (by an adaptive step) and the next band is bulk-loaded
+ *    with one Floyd heapify — so each event pays at most one heapify,
+ *    on a heap that only ever holds the near band. Far-future timers
+ *    that are cancelled before they come due (watchdogs, failure
+ *    timeouts) never touch the heap at all.
+ *  - Heap and band entries carry the slot index and its generation, so
+ *    tombstone skipping is one integer compare. Cancelled events stay
+ *    behind as tombstones; when dead entries exceed half of either
+ *    container, it is compacted in one O(n) sweep (amortized O(1) per
+ *    cancel) — the far band without any heap rebuild.
+ *  - Callbacks fire in place: the slot is marked dead before the call
+ *    (so pending()/cancel() on the firing event read false, and a
+ *    clear() from inside the callback skips it) and recycled after,
+ *    with no intermediate move of the callable.
+ *
+ * The external contract — the (when, seq) FIFO tie-break among
+ * equal-time events — is identical to the original
+ * priority_queue + unordered_map kernel, so every seeded run, golden
+ * CSV, and event trace is byte-identical. `c4bench --perf` measures
+ * the kernels side by side (see perf/).
  */
 
 #ifndef C4_SIM_SIMULATOR_H
 #define C4_SIM_SIMULATOR_H
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -36,7 +78,13 @@ class Simulator
   public:
     using Callback = std::function<void()>;
 
+    /** Inline callback storage per event slot; larger captures take one
+     * heap allocation. 80 bytes covers every capture pattern in the
+     * tree, including accl's {this, weak_ptr, shared_ptr, function}. */
+    static constexpr std::size_t kInlineCallbackBytes = 80;
+
     Simulator() = default;
+    ~Simulator();
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -44,17 +92,49 @@ class Simulator
     Time now() const { return now_; }
 
     /**
-     * Schedule @p fn to run at absolute time @p when (>= now).
+     * Schedule @p fn to run at absolute time @p when (>= now; earlier
+     * times clamp to now). Accepts any nullary callable; it is moved
+     * into pooled storage (inline when it fits kInlineCallbackBytes).
      * @return a handle that can be passed to cancel().
      */
-    EventId scheduleAt(Time when, Callback fn);
+    template <typename F>
+    EventId
+    scheduleAt(Time when, F fn)
+    {
+        static_assert(std::is_invocable_v<F &>,
+                      "event callbacks take no arguments");
+        if constexpr (std::is_constructible_v<bool, const F &>)
+            assert(static_cast<bool>(fn));
+        const std::uint32_t slot = allocSlot();
+        Slot &s = slotRef(slot);
+        constexpr bool fitsInline =
+            sizeof(F) <= kInlineCallbackBytes &&
+            alignof(F) <= alignof(std::max_align_t);
+        if constexpr (fitsInline) {
+            ::new (static_cast<void *>(s.inlineBuf)) F(std::move(fn));
+            s.heap = nullptr;
+        } else {
+            s.heap = new F(std::move(fn));
+        }
+        s.ops = &opsFor<F>();
+        return finishSchedule(when, slot);
+    }
 
     /** Schedule @p fn to run @p delay after now. */
-    EventId scheduleAfter(Duration delay, Callback fn);
+    template <typename F>
+    EventId
+    scheduleAfter(Duration delay, F fn)
+    {
+        assert(delay >= 0);
+        // Saturate instead of overflowing for "never"-ish delays.
+        const Time when =
+            delay >= kTimeNever - now_ ? kTimeNever : now_ + delay;
+        return scheduleAt(when, std::move(fn));
+    }
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or invalid
-     * handle is a harmless no-op.
+     * Cancel a pending event. Cancelling an already-fired, cleared, or
+     * invalid handle is a harmless no-op (O(1) either way).
      * @return true if the event was pending and is now cancelled.
      */
     bool cancel(EventId id);
@@ -63,7 +143,7 @@ class Simulator
     bool pending(EventId id) const;
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pendingCount() const;
+    std::size_t pendingCount() const { return liveCount_; }
 
     /**
      * Run until the queue is empty or @p until is reached. Events scheduled
@@ -79,7 +159,16 @@ class Simulator
      */
     bool step();
 
-    /** Drop all pending events without running them. */
+    /**
+     * Drop all pending events without running them; their callbacks are
+     * destroyed, never invoked. The clock (now()), executedCount(), and
+     * the FIFO sequence counter are all preserved: events scheduled
+     * after a clear() fire at their requested times in scheduling
+     * order, exactly as if the dropped events had never existed. Safe
+     * to call from inside an executing callback (the firing event is
+     * already unlinked from the pool and completes normally; anything
+     * it schedules after the clear() survives).
+     */
     void clear();
 
     /** Total events executed over the simulator's lifetime. */
@@ -96,31 +185,150 @@ class Simulator
     /** @} */
 
   private:
-    struct Entry
+    /** Type-erased operations for a stored callback type F. */
+    struct CallbackOps
+    {
+        void (*invoke)(void *p);
+        /** ~F() in place, or `delete` when @p onHeap. */
+        void (*destroy)(void *p, bool onHeap);
+        /** Skip the inline destructor call entirely (most captures). */
+        bool trivialDtor;
+    };
+
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    static constexpr std::uint32_t kChunkSlots = 256; // power of two
+
+    /** One pooled event slot. `ops` null <=> slot is on the free list.
+     * Metadata leads so it shares a cache line with small captures. */
+    struct Slot
+    {
+        const CallbackOps *ops = nullptr;
+        void *heap = nullptr; ///< non-null: callable lives on the heap
+        Time when = 0;        ///< deadline; > horizon_ <=> entry in far_
+        std::uint32_t gen = 1;
+        std::uint32_t nextFree = kNoSlot;
+        alignas(std::max_align_t)
+            unsigned char inlineBuf[kInlineCallbackBytes];
+
+        void *callable() { return heap ? heap : inlineBuf; }
+    };
+
+    /** Heap entry; stale (tombstone) iff the slot's generation moved on. */
+    struct HeapEntry
     {
         Time when;
         std::uint64_t seq; // tie-break: FIFO among same-time events
-        EventId id;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
+
+    /** Strict total order: (when, seq) lexicographic. Because seq is
+     * unique, the pop sequence is fully determined by this order — the
+     * heap's arity and internal layout cannot affect event ordering. */
+    static bool
+    entryBefore(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    template <typename F>
+    static void
+    invokeImpl(void *p)
+    {
+        (*static_cast<F *>(p))();
+    }
+
+    template <typename F>
+    static void
+    destroyImpl(void *p, bool onHeap)
+    {
+        if (onHeap)
+            delete static_cast<F *>(p);
+        else
+            static_cast<F *>(p)->~F();
+    }
+
+    template <typename F>
+    static const CallbackOps &
+    opsFor()
+    {
+        static constexpr CallbackOps table{
+            &invokeImpl<F>, &destroyImpl<F>,
+            std::is_trivially_destructible_v<F>};
+        return table;
+    }
+
+    static constexpr EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+    static constexpr std::uint32_t
+    slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+    static constexpr std::uint32_t
+    genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    Slot &slotRef(std::uint32_t idx);
+    const Slot &slotRef(std::uint32_t idx) const;
+    std::uint32_t allocSlot();
+    /** Bump the slot's generation and clear its vtable, so every
+     * outstanding EventId and heap entry for it reads as dead. */
+    void markDead(Slot &s);
+    /** Put a dead slot on the free list. */
+    void pushFree(Slot &s, std::uint32_t idx);
+    /** Destroy the callable in @p idx, then mark dead + free. */
+    void destroySlot(std::uint32_t idx);
+    EventId finishSchedule(Time when, std::uint32_t slot);
+    /** @name 4-ary min-heap on entryBefore (half the depth of a binary
+     * heap; pop order is layout-independent, see entryBefore) @{ */
+    void heapPush(const HeapEntry &e);
+    void heapPopTop();
+    void siftDown(std::size_t i);
+    /** @} */
+    /** Drop tombstones, then fire the next event with when <= @p until.
+     * Each popped entry is examined exactly once. */
+    bool fireNext(Time until);
+    /** Sweep stale entries out of the heap and re-heapify. */
+    void compact();
+    /** Sweep stale entries out of the far band (no heap rebuild). */
+    void compactFar();
+    /** Advance horizon_ past the earliest far deadline and move the new
+     * band into the (empty) near heap. */
+    void promote();
 
     trace::TraceScope tracer_;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 1;
-    EventId nextId_ = 1;
     std::uint64_t executed_ = 0;
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        queue_;
-    // id -> callback for live events; absence means cancelled/fired.
-    std::unordered_map<EventId, Callback> live_;
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::uint32_t freeHead_ = kNoSlot;
+    std::uint32_t slotCount_ = 0; ///< slots ever materialized
+    std::size_t liveCount_ = 0;   ///< pending (schedulable) events
+
+    /** Near band: min-heap over entries with when <= horizon_. */
+    std::vector<HeapEntry> heap_;
+    std::size_t deadInHeap_ = 0; ///< near tombstones awaiting compaction
+
+    /** Far band: unsorted entries with when > horizon_. Scheduling and
+     * cancelling here never touch the heap; promote() moves each entry
+     * into the heap at most once. horizon_ only ever advances. */
+    std::vector<HeapEntry> far_;
+    std::size_t deadInFar_ = 0; ///< far tombstones awaiting compaction
+    Time horizon_ = 0; ///< inclusive upper bound of the near band
+    Duration bandWidth_ = 1 << 20; ///< adaptive horizon step (see promote)
+    /** Conservative lower bound on the earliest far deadline (stale
+     * tombstones can hold it low, never high): lets sliced run(until)
+     * calls skip the band without scanning it. */
+    Time farMin_ = kTimeNever;
 };
 
 /**

@@ -434,11 +434,16 @@ runShadowEquivalence(std::uint64_t seed, FabricConfig fc)
             p.full.setLinkCapacityScale(id, scale);
         } else if (roll < 0.87) {
             // An explicit-route (prober-style) flow on whatever path
-            // is currently healthy for a random pair.
+            // is currently healthy for a random pair. The NICs must be
+            // real ones: PathSelector::select indexes host links by
+            // (node, nic) and asserts on kInvalidId.
             PathRequest req;
             req.srcNode = 0;
             req.dstNode = static_cast<NodeId>(
                 ev.uniformInt(4, p.topoA.numNodes() - 1));
+            req.srcNic = static_cast<NicId>(
+                ev.uniformInt(0, p.topoA.nicsPerNode() - 1));
+            req.dstNic = req.srcNic;
             req.flowLabel = ++label;
             p.startExplicit(sel.select(req),
                             mib(static_cast<Bytes>(

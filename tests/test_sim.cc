@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -218,6 +222,412 @@ TEST(PeriodicTask, DoubleStartIsNoop)
     task.start();
     sim.run(seconds(1));
     EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTask, RestartAfterStopDoesNotDrift)
+{
+    // Stop mid-period, restart mid-period: the next firing must be a
+    // full period after the restart (not the old phase, not sooner).
+    Simulator sim;
+    std::vector<Time> fires;
+    PeriodicTask task(sim, 10, [&] { fires.push_back(sim.now()); });
+    task.start();
+    sim.scheduleAt(23, [&] { task.stop(); });
+    sim.scheduleAt(27, [&] { task.start(); });
+    sim.run(60);
+    EXPECT_EQ(fires, (std::vector<Time>{10, 20, 37, 47, 57}));
+}
+
+TEST(PeriodicTask, SelfStopLeavesNothingPending)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicTask *ptr = nullptr;
+    PeriodicTask task(sim, seconds(1), [&] {
+        if (++count == 2)
+            ptr->stop();
+    });
+    ptr = &task;
+    task.start();
+    sim.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(task.running());
+    EXPECT_EQ(sim.pendingCount(), 0u); // no orphaned reschedule
+}
+
+// ---------------------------------------------------------------------
+// Pooled-kernel internals exercised through the public surface: slot
+// reuse, tombstone compaction in both bands, clear() semantics, the
+// heap-fallback callback path, and a randomized equivalence sweep
+// against a naive reference model.
+// ---------------------------------------------------------------------
+
+TEST(Simulator, StaleIdCannotCancelSlotSuccessor)
+{
+    Simulator sim;
+    const EventId a = sim.scheduleAt(1, [] {});
+    EXPECT_TRUE(sim.cancel(a));
+    // The freed slot is reused by the very next schedule; the stale
+    // handle must not be able to reach the successor.
+    bool fired = false;
+    const EventId b = sim.scheduleAt(2, [&] { fired = true; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(sim.pending(a));
+    EXPECT_FALSE(sim.cancel(a));
+    EXPECT_TRUE(sim.pending(b));
+    sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelStormFarBandCompactsAndPreservesOrder)
+{
+    // 10k not-yet-due events, 99% cancelled before any run: the storm
+    // lands entirely in the far band (nothing has been promoted yet)
+    // and drives repeated far compaction; the survivors must still
+    // fire in exact (when, seq) order.
+    Simulator sim;
+    constexpr int kEvents = 10000;
+    std::vector<EventId> ids;
+    ids.reserve(kEvents);
+    std::vector<int> fired;
+    for (int i = 0; i < kEvents; ++i) {
+        ids.push_back(sim.scheduleAt((i * 7919) % 100000 + 1,
+                                     [i, &fired] { fired.push_back(i); }));
+    }
+    for (int i = 0; i < kEvents; ++i) {
+        if (i % 100 != 0) {
+            EXPECT_TRUE(sim.cancel(ids[i]));
+        }
+    }
+    EXPECT_EQ(sim.pendingCount(), 100u);
+    sim.run();
+    EXPECT_EQ(sim.executedCount(), 100u);
+
+    std::vector<int> expected;
+    for (int i = 0; i < kEvents; i += 100)
+        expected.push_back(i);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](int a, int b) {
+                         return (a * 7919) % 100000 < (b * 7919) % 100000;
+                     });
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(Simulator, CancelStormNearHeapCompactsAndPreservesOrder)
+{
+    // Same storm, but fire one event first: the initial band width
+    // exceeds the whole time spread, so that single step() promotes
+    // the entire population into the near heap, and the cancel storm
+    // now drives the heap's tombstone compaction instead.
+    Simulator sim;
+    constexpr int kEvents = 10000;
+    std::vector<EventId> ids;
+    ids.reserve(kEvents);
+    std::vector<int> fired;
+    for (int i = 0; i < kEvents; ++i) {
+        ids.push_back(sim.scheduleAt((i * 7919) % 100000 + 1,
+                                     [i, &fired] { fired.push_back(i); }));
+    }
+    ASSERT_TRUE(sim.step());
+    ASSERT_EQ(fired.size(), 1u);
+    const int first = fired.front();
+    for (int i = 0; i < kEvents; ++i) {
+        if (i % 100 != 0) {
+            EXPECT_EQ(sim.cancel(ids[i]), i != first);
+        }
+    }
+    sim.run();
+
+    std::vector<int> expected;
+    for (int i = 0; i < kEvents; ++i) {
+        if (i % 100 == 0 || i == first)
+            expected.push_back(i);
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](int a, int b) {
+                         return (a * 7919) % 100000 < (b * 7919) % 100000;
+                     });
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(sim.pendingCount(), 0u);
+}
+
+TEST(Simulator, CancelEntireFarBandThenRun)
+{
+    // Cancelling every far-future event must not disturb the near one
+    // and must leave nothing to promote.
+    Simulator sim;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(sim.scheduleAt(seconds(10) + i, [] {}));
+    bool nearFired = false;
+    sim.scheduleAt(seconds(1), [&] { nearFired = true; });
+    for (const EventId id : ids)
+        EXPECT_TRUE(sim.cancel(id));
+    EXPECT_EQ(sim.pendingCount(), 1u);
+    sim.run();
+    EXPECT_TRUE(nearFired);
+    EXPECT_EQ(sim.executedCount(), 1u);
+    EXPECT_EQ(sim.pendingCount(), 0u);
+}
+
+TEST(Simulator, SlicedRunsWithFarFutureEvents)
+{
+    // The watchdog pattern: thousands of tiny run(until) slices while
+    // every pending event is far in the future. Nothing may fire
+    // early, and the final drain must still be in time order.
+    Simulator sim;
+    std::vector<Time> fired;
+    for (int i = 0; i < 100; ++i)
+        sim.scheduleAt(seconds(100) + i,
+                       [&fired, &sim] { fired.push_back(sim.now()); });
+    for (Time t = seconds(1); t < seconds(100); t += seconds(1)) {
+        sim.run(t);
+        EXPECT_EQ(sim.now(), t);
+    }
+    EXPECT_TRUE(fired.empty());
+    sim.run();
+    ASSERT_EQ(fired.size(), 100u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(Simulator, ClearPreservesClockAndExecutedCount)
+{
+    // clear() drops pending work only; now(), executedCount() and the
+    // schedule sequence survive (see the header contract).
+    Simulator sim;
+    sim.scheduleAt(seconds(1), [] {});
+    sim.run();
+    sim.scheduleAt(seconds(5), [] {});
+    sim.scheduleAt(seconds(400), [] {}); // lands in the far band
+    sim.clear();
+    EXPECT_EQ(sim.now(), seconds(1));
+    EXPECT_EQ(sim.executedCount(), 1u);
+    EXPECT_EQ(sim.pendingCount(), 0u);
+}
+
+TEST(Simulator, ScheduleAfterClearIsDeterministic)
+{
+    // A fresh schedule sequence after clear() fires in exactly the
+    // order a fresh simulator would produce: (when, FIFO-among-ties).
+    auto soup = [](bool preload) {
+        Simulator sim;
+        if (preload) {
+            sim.scheduleAt(3, [] {});
+            sim.scheduleAt(seconds(300), [] {});
+            sim.clear();
+        }
+        std::vector<int> order;
+        for (int i = 0; i < 50; ++i)
+            sim.scheduleAt((i * 13) % 7,
+                           [i, &order] { order.push_back(i); });
+        sim.run();
+        return order;
+    };
+    EXPECT_EQ(soup(true), soup(false));
+}
+
+TEST(Simulator, ClearFromInsideCallback)
+{
+    Simulator sim;
+    int firedAfter = 0;
+    sim.scheduleAt(1, [&] { sim.clear(); });
+    sim.scheduleAt(2, [&] { ++firedAfter; });
+    sim.scheduleAt(seconds(400), [&] { ++firedAfter; });
+    sim.run();
+    EXPECT_EQ(firedAfter, 0);
+    EXPECT_EQ(sim.now(), 1);
+    EXPECT_EQ(sim.executedCount(), 1u);
+    // The engine stays usable afterwards.
+    bool again = false;
+    sim.scheduleAfter(1, [&] { again = true; });
+    sim.run();
+    EXPECT_TRUE(again);
+}
+
+TEST(Simulator, LargeCaptureUsesHeapFallback)
+{
+    // A capture past the inline budget must still fire and, when
+    // cancelled, still destroy (ASan would flag a leak here).
+    Simulator sim;
+    std::array<std::uint64_t, 16> payload{}; // 128 B > inline budget
+    payload[15] = 42;
+    std::uint64_t got = 0;
+    sim.scheduleAt(1, [payload, &got] { got = payload[15]; });
+    const EventId id =
+        sim.scheduleAt(2, [payload, &got] { got = 0; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_EQ(got, 42u);
+}
+
+TEST(Simulator, CallbackDestructorsRunOnCancelAndClear)
+{
+    const auto token = std::make_shared<int>(7);
+    Simulator sim;
+    const EventId id = sim.scheduleAt(1, [token] {});
+    sim.scheduleAt(2, [token] {});
+    sim.scheduleAt(seconds(400), [token] {}); // far band
+    EXPECT_EQ(token.use_count(), 4);
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_EQ(token.use_count(), 3);
+    sim.clear();
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+// Randomized equivalence: the pooled kernel against a naive reference
+// model (a flat vector scanned for the (when, seq) minimum), through
+// schedule / cancel / sliced-run soups. Any divergence in fire order,
+// clock, or live count fails.
+namespace equivalence {
+
+struct RefEvent
+{
+    Time when;
+    std::uint64_t seq;
+    int tag;
+};
+
+struct RefModel
+{
+    Time now = 0;
+    std::uint64_t seq = 1;
+    std::uint64_t executed = 0;
+    std::vector<RefEvent> pending;
+    std::vector<int> fired;
+
+    void
+    schedule(Time when, int tag)
+    {
+        if (when < now)
+            when = now;
+        pending.push_back({when, seq++, tag});
+    }
+
+    bool
+    cancel(int tag)
+    {
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->tag == tag) {
+                pending.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    run(Time until)
+    {
+        for (;;) {
+            std::size_t best = pending.size();
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (best == pending.size() ||
+                    pending[i].when < pending[best].when ||
+                    (pending[i].when == pending[best].when &&
+                     pending[i].seq < pending[best].seq))
+                    best = i;
+            }
+            if (best == pending.size() || pending[best].when > until)
+                break;
+            now = pending[best].when;
+            ++executed;
+            fired.push_back(pending[best].tag);
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(best));
+        }
+        if (until != kTimeNever && now < until)
+            now = until;
+    }
+};
+
+struct Lcg
+{
+    std::uint64_t s;
+
+    std::uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return s >> 33;
+    }
+};
+
+void
+soup(std::uint64_t seed)
+{
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    Simulator sim;
+    RefModel ref;
+    std::vector<int> simFired;
+    std::map<int, EventId> live; // ordered: deterministic pick
+    Lcg rng{seed};
+    int nextTag = 0;
+
+    for (int step = 0; step < 10000; ++step) {
+        switch (rng.next() % 8) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+        case 4: { // schedule; mixed near/far/tie-heavy delays
+            const std::uint64_t r = rng.next();
+            Duration d;
+            if ((r & 3) == 0)
+                d = static_cast<Duration>(r % 7); // ties
+            else if ((r & 3) == 1)
+                d = static_cast<Duration>(r % 100000000); // far
+            else
+                d = static_cast<Duration>(r % 5000); // near
+            const int tag = nextTag++;
+            live[tag] = sim.scheduleAfter(
+                d, [tag, &simFired] { simFired.push_back(tag); });
+            ref.schedule(ref.now + d, tag);
+            break;
+        }
+        case 5: { // cancel a pseudo-random (possibly fired) tag
+            if (live.empty())
+                break;
+            auto it = live.begin();
+            std::advance(it, static_cast<std::ptrdiff_t>(
+                                 rng.next() % live.size()));
+            EXPECT_EQ(sim.cancel(it->second), ref.cancel(it->first));
+            live.erase(it);
+            break;
+        }
+        default: { // sliced run
+            const Time until =
+                sim.now() + static_cast<Duration>(rng.next() % 20000);
+            sim.run(until);
+            ref.run(until);
+            ASSERT_EQ(sim.now(), ref.now);
+            ASSERT_EQ(sim.pendingCount(), ref.pending.size());
+            break;
+        }
+        }
+    }
+    sim.run();
+    ref.run(kTimeNever);
+    EXPECT_EQ(simFired, ref.fired);
+    EXPECT_EQ(sim.now(), ref.now);
+    EXPECT_EQ(sim.executedCount(), ref.executed);
+    EXPECT_EQ(sim.pendingCount(), ref.pending.size());
+}
+
+} // namespace equivalence
+
+TEST(SimulatorEquivalence, RandomSoupSeed1)
+{
+    equivalence::soup(0x9e3779b97f4a7c15ull);
+}
+
+TEST(SimulatorEquivalence, RandomSoupSeed2)
+{
+    equivalence::soup(0xd1b54a32d192ed03ull);
+}
+
+TEST(SimulatorEquivalence, RandomSoupSeed3)
+{
+    equivalence::soup(0x94d049bb133111ebull);
 }
 
 } // namespace
