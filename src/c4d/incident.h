@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Incident-level diagnosis over a telemetry stream.
+ *
+ * Where analyzer.h localizes one syndrome inside one collective and
+ * rca.h explains one C4D event, this module works at the granularity
+ * the replay corpus is labeled at: it consumes a whole run's telemetry
+ * (live or replayed — see telemetry.h) and emits one verdict per
+ * distinct incident it can defend. Verdicts are deterministic pure
+ * functions of the record stream, so replaying a recorded trace yields
+ * byte-identical output to the live run that produced it.
+ *
+ * Detection sources, per kind:
+ *  - LinkFailure: switch telemetry (link-down reroute events), the two
+ *    directions of a cable grouped into one incident by time.
+ *  - FaultStorm: >= stormMinLinks link-failure groups inside
+ *    stormWindow collapse into one storm verdict (the fabric's
+ *    coalescing case), detected when the Nth group arrives.
+ *  - PortDegradation: link capacity-scale telemetry, localized to a
+ *    node via the RCA hardware log when a Slow* entry corroborates,
+ *    with CNP elevation after onset as supporting evidence.
+ *  - NodeCrash: a steering decision (job restart) whose RCA window
+ *    holds a fatal hardware entry — or, with silent logs, the
+ *    syndrome prior (runtime death, unlocalized, low confidence).
+ */
+
+#ifndef C4_C4D_INCIDENT_H
+#define C4_C4D_INCIDENT_H
+
+#include <string>
+#include <vector>
+
+#include "c4d/rca.h"
+#include "c4d/telemetry.h"
+#include "common/types.h"
+
+namespace c4::c4d {
+
+/** Incident categories the corpus labels use. */
+enum class IncidentKind : std::int8_t {
+    LinkFailure = 0,
+    PortDegradation,
+    NodeCrash,
+    FaultStorm,
+};
+
+/** Stable wire name ("link_failure", ...) used in labels/verdicts. */
+const char *incidentKindName(IncidentKind k);
+
+/** @return true and set @p out if @p name is a known kind name. */
+bool incidentKindFromName(const std::string &name, IncidentKind &out);
+
+/** One detected incident. */
+struct IncidentVerdict
+{
+    IncidentKind kind = IncidentKind::LinkFailure;
+    NodeId node = kInvalidId;    ///< culprit node, or -1 if unlocalized
+    std::int64_t link = -1;      ///< culprit link id, or -1
+    Time detectedAt = 0;         ///< when the detector could first call it
+    std::string cause;           ///< fault-type name, or "unknown"
+    bool corroborated = false;   ///< hardware log backed the call
+    double confidence = 0.0;
+    std::string evidence;        ///< compact human-readable support
+};
+
+struct IncidentAnalyzerConfig
+{
+    /** Link-down events closer than this form one incident (the two
+     * directions of a cable, plus the immediate reroute cascade). */
+    Duration linkGroupWindow = milliseconds(50);
+
+    /** Link-failure groups within this span merge into a storm. */
+    Duration stormWindow = seconds(30);
+
+    /** Minimum groups for a storm verdict. */
+    int stormMinLinks = 3;
+
+    /** CNP comparison span on each side of a degradation onset. */
+    Duration cnpWindow = seconds(60);
+
+    /** after/before mean-CNP ratio that counts as corroborating. */
+    double cnpSpikeRatio = 1.5;
+
+    /** Steering decisions for one job within this span are one
+     * incident (a restart retry is not a second crash). */
+    Duration syndromeCooldown = minutes(5);
+
+    RcaConfig rca;
+};
+
+/**
+ * Streaming incident detector: feed records via the TelemetrySink
+ * interface in timestamp order, then call finish() once for the
+ * run's verdicts (sorted by detection time, stream order on ties).
+ */
+class IncidentAnalyzer final : public TelemetrySink
+{
+  public:
+    explicit IncidentAnalyzer(IncidentAnalyzerConfig cfg = {});
+
+    void onFault(const FaultRecord &rec) override;
+    void onLinkEvent(const LinkEventRecord &rec) override;
+    void onLinkScale(const LinkScaleRecord &rec) override;
+    void onCnpSample(const CnpRecord &rec) override;
+    void onSteering(const SteeringRecord &rec) override;
+
+    /** Close open groups, resolve syndromes against the now-complete
+     * hardware log, and return the run's verdicts. Call once. */
+    std::vector<IncidentVerdict> finish();
+
+    /** The hardware-log model fed by onFault (visible classes only). */
+    const RootCauseAnalyzer &rca() const { return rca_; }
+
+  private:
+    /** Link-down (or capacity-scale) events coalesced in time. */
+    struct EventGroup
+    {
+        Time start = 0;
+        Time last = 0;
+        std::int64_t minLink = -1;
+        int count = 0;
+        std::int64_t flows = 0; ///< link-down: reroutes; scale: members
+        double minScale = 1.0;  ///< scale groups only
+    };
+
+    IncidentAnalyzerConfig cfg_;
+    RootCauseAnalyzer rca_;
+    std::vector<EventGroup> downGroups_;
+    std::vector<EventGroup> scaleGroups_;
+    std::vector<CnpRecord> cnp_;
+    std::vector<SteeringRecord> steerings_;
+    bool finished_ = false;
+
+    static void addToGroups(std::vector<EventGroup> &groups,
+                            Duration window, Time when,
+                            std::int64_t link, std::int64_t flows,
+                            double scale);
+    void emitLinkVerdicts(std::vector<IncidentVerdict> &out) const;
+    void emitScaleVerdicts(std::vector<IncidentVerdict> &out) const;
+    void emitSyndromeVerdicts(std::vector<IncidentVerdict> &out) const;
+    bool cnpElevatedAround(Time onset) const;
+};
+
+} // namespace c4::c4d
+
+#endif // C4_C4D_INCIDENT_H

@@ -38,14 +38,51 @@ RootCauseAnalyzer::ingestHardwareEvent(const HardwareLogEntry &entry)
     log_.push_back(entry);
 }
 
+bool
+RootCauseAnalyzer::inWindow(const HardwareLogEntry &entry, Time when) const
+{
+    return entry.when <= when + cfg_.postEventSlack &&
+           when - entry.when <= cfg_.correlationWindow;
+}
+
+bool
+RootCauseAnalyzer::matchesClass(FaultType type, SyndromeClass cls)
+{
+    switch (cls) {
+      case SyndromeClass::Fatal:
+        return fault::faultIsFatal(type);
+      case SyndromeClass::Degradation:
+        return type == FaultType::SlowNode ||
+               type == FaultType::SlowNicTx ||
+               type == FaultType::SlowNicRx;
+      case SyndromeClass::Fabric:
+        return type == FaultType::LinkDown;
+      case SyndromeClass::Any:
+        return true;
+    }
+    return false;
+}
+
+const HardwareLogEntry *
+RootCauseAnalyzer::explainSyndrome(Time when, SyndromeClass cls) const
+{
+    const HardwareLogEntry *best = nullptr;
+    for (const auto &entry : log_) {
+        if (!inWindow(entry, when) || !matchesClass(entry.type, cls))
+            continue;
+        // Latest matching entry wins (closest to the syndrome).
+        if (best == nullptr || entry.when > best->when)
+            best = &entry;
+    }
+    return best;
+}
+
 const HardwareLogEntry *
 RootCauseAnalyzer::findCorroboration(const C4dEvent &ev) const
 {
     const HardwareLogEntry *best = nullptr;
     for (const auto &entry : log_) {
-        if (entry.when > ev.when + cfg_.postEventSlack)
-            continue;
-        if (ev.when - entry.when > cfg_.correlationWindow)
+        if (!inWindow(entry, ev.when))
             continue;
         const bool on_suspect =
             std::find(ev.suspectNodes.begin(), ev.suspectNodes.end(),

@@ -65,6 +65,14 @@ struct RcaConfig
     std::size_t logCapacity = 1u << 16;
 };
 
+/** Which hardware-log fault classes a syndrome query should match. */
+enum class SyndromeClass : std::int8_t {
+    Fatal,       ///< worker-killing faults (ECC, NVLink, ...)
+    Degradation, ///< Slow* performance faults
+    Fabric,      ///< LinkDown
+    Any,
+};
+
 class RootCauseAnalyzer
 {
   public:
@@ -72,6 +80,18 @@ class RootCauseAnalyzer
 
     /** Feed a hardware monitor entry. */
     void ingestHardwareEvent(const HardwareLogEntry &entry);
+
+    /**
+     * Window query underpinning replayed-telemetry diagnosis: the
+     * latest log entry of @p cls within [when - correlationWindow,
+     * when + postEventSlack], with no node filter — for syndromes
+     * (e.g. a recorded steering decision) where only the job, not a
+     * suspect-node list, is known. Same window arithmetic as the
+     * suspect-node corroboration used by analyze().
+     * @return the entry, or nullptr when the window is silent.
+     */
+    const HardwareLogEntry *explainSyndrome(Time when,
+                                            SyndromeClass cls) const;
 
     /** Analyze a single C4D event against the log + priors. */
     RootCauseReport analyze(const C4dEvent &event) const;
@@ -92,6 +112,10 @@ class RootCauseAnalyzer
 
     const HardwareLogEntry *findCorroboration(const C4dEvent &ev) const;
     static RootCauseReport syndromePrior(const C4dEvent &ev);
+    /** True when @p entry is within the correlation window of an event
+     * at @p when (shared by corroboration and syndrome queries). */
+    bool inWindow(const HardwareLogEntry &entry, Time when) const;
+    static bool matchesClass(fault::FaultType type, SyndromeClass cls);
 };
 
 } // namespace c4::c4d

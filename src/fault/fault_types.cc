@@ -23,6 +23,19 @@ faultTypeName(FaultType t)
 }
 
 bool
+faultTypeFromName(const std::string &name, FaultType &out)
+{
+    for (int t = 0; t < kNumFaultTypes; ++t) {
+        const auto type = static_cast<FaultType>(t);
+        if (name == faultTypeName(type)) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 faultIsFatal(FaultType t)
 {
     switch (t) {

@@ -38,6 +38,13 @@ constexpr int kNumFaultTypes = 10;
 
 const char *faultTypeName(FaultType t);
 
+/**
+ * Reverse of faultTypeName: decode a kebab-case name (the form trace
+ * events carry in their detail field) back into a FaultType.
+ * @return true and set @p out on a known name, false otherwise.
+ */
+bool faultTypeFromName(const std::string &name, FaultType &out);
+
 /** True if the fault kills worker processes (job crash syndrome). */
 bool faultIsFatal(FaultType t);
 

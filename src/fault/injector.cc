@@ -69,7 +69,18 @@ FaultInjector::startCampaign(const FaultRates &rates,
         static_cast<double>(nodes.size()) * gpusPerNode / 1000.0;
     const double months = toSeconds(duration) / toSeconds(days(30));
 
-    std::size_t scheduled = 0;
+    // All arrivals are known up front, so they go through the batch
+    // scheduler: one slot-reservation pass and one heapify instead of a
+    // sift-up per fault. Delays are collected in draw order and the
+    // batch assigns sequence numbers in array order, so fire order (and
+    // every downstream golden) is identical to per-event scheduleAt.
+    struct FireFn
+    {
+        FaultInjector *inj;
+        FaultEvent ev;
+        void operator()() const { inj->fire(ev); }
+    };
+    std::vector<std::pair<Duration, FireFn>> arrivals;
     for (int t = 0; t < kNumFaultTypes; ++t) {
         const auto type = static_cast<FaultType>(t);
         const double mean = rates[type] * gpu_k * months;
@@ -100,14 +111,14 @@ FaultInjector::startCampaign(const FaultRates &rates,
               default:
                 ev.severity = 1.0;
             }
-            const Time when =
-                sim_.now() + static_cast<Duration>(
-                                 rng_.uniform() *
-                                 static_cast<double>(duration));
-            injectAt(when, ev);
-            ++scheduled;
+            const Duration delay = static_cast<Duration>(
+                rng_.uniform() * static_cast<double>(duration));
+            ev.when = sim_.now() + delay;
+            arrivals.emplace_back(delay, FireFn{this, ev});
         }
     }
+    const std::size_t scheduled = arrivals.size();
+    sim_.scheduleBatchAfter(std::move(arrivals));
     return scheduled;
 }
 

@@ -1,0 +1,345 @@
+#include "replay/capture.h"
+
+#include <stdexcept>
+
+#include "net/topology.h"
+#include "scenario/options.h"
+#include "scenario/workload.h"
+
+namespace c4::replay {
+
+namespace {
+
+using fault::FaultType;
+using scenario::AllreduceGroupSpec;
+using scenario::FaultSpec;
+using scenario::JobSpec;
+using scenario::LinkEventSpec;
+using scenario::ScenarioSpec;
+
+/** One buildable incident: spec + label + post-run fixup flags. */
+struct IncidentPlan
+{
+    ScenarioSpec spec;
+    IncidentLabel label;
+
+    /** Resolve culprit_node from the recorded FaultInjected event
+     * (job-relative victims are placed at run time). */
+    bool culpritFromTrace = false;
+};
+
+/** Cross-segment allreduce load so the fabric has flows to reroute. */
+ScenarioSpec
+allreduceTraffic(int tasks, int iterations)
+{
+    ScenarioSpec spec;
+    AllreduceGroupSpec g;
+    g.tasks = tasks;
+    g.placement = AllreduceGroupSpec::Placement::CrossSegmentPairs;
+    g.iterations = iterations;
+    spec.allreduces.push_back(g);
+    return spec;
+}
+
+/** A 4-node llama7b training job (TP8 x DP4 on 8-GPU nodes). */
+JobSpec
+trainingJob()
+{
+    JobSpec js;
+    js.id = 1;
+    js.model = "llama7b";
+    js.microbatchCompute = milliseconds(800);
+    js.parallel = {.tp = 8, .pp = 1, .dp = 4};
+    js.initTime = seconds(5);
+    js.dpGroupsSimulated = 1;
+    return js;
+}
+
+/** C4D runtime with warm spares, tuned for seconds-scale reactions. */
+void
+enableSteering(ScenarioSpec &spec)
+{
+    spec.features.c4d = true;
+    spec.features.evaluatePeriod = seconds(2);
+    spec.features.isolateOnSlow = true;
+    spec.features.backupNodes = 2;
+}
+
+/** Fail one leaf<->spine trunk (both directions) at @p at. */
+void
+downTrunk(ScenarioSpec &spec, Time at, int spine, bool up = false)
+{
+    LinkEventSpec le;
+    le.at = at;
+    le.segment = 0;
+    le.plane = net::Plane::Left;
+    le.spine = spine;
+    le.up = up;
+    spec.linkEvents.push_back(le);
+}
+
+/** Label the two directed links the trunk event touches as culprits. */
+void
+labelTrunkCulprits(IncidentPlan &p, int spine)
+{
+    const net::Topology topo(
+        scenario::toClusterConfig(p.spec, p.label.seed).topology);
+    const int leaf = topo.leafIndex(0, net::Plane::Left);
+    p.label.culpritLinks.push_back(topo.trunkUplink(leaf, spine));
+    p.label.culpritLinks.push_back(topo.trunkDownlink(spine, leaf));
+}
+
+IncidentPlan
+linkFailureSingle()
+{
+    IncidentPlan p;
+    p.spec = allreduceTraffic(4, 2000);
+    p.spec.horizon = seconds(14);
+    downTrunk(p.spec, seconds(10), /*spine=*/3);
+    p.label.rootCause = "link_failure";
+    p.label.tInject = seconds(10);
+    p.label.seed = 801;
+    p.label.notes = "one trunk cable cut under cross-segment load";
+    labelTrunkCulprits(p, 3);
+    return p;
+}
+
+IncidentPlan
+linkFailureFlap()
+{
+    IncidentPlan p;
+    p.spec = allreduceTraffic(4, 2000);
+    p.spec.horizon = seconds(16);
+    downTrunk(p.spec, seconds(10), /*spine=*/5);
+    downTrunk(p.spec, seconds(12), /*spine=*/5, /*up=*/true);
+    p.label.rootCause = "link_failure";
+    p.label.tInject = seconds(10);
+    p.label.seed = 802;
+    p.label.notes = "trunk flap: down at 10s, restored at 12s; the "
+                    "recovery must not count as a second incident";
+    labelTrunkCulprits(p, 5);
+    return p;
+}
+
+IncidentPlan
+linkStormCoalesced()
+{
+    IncidentPlan p;
+    p.spec = allreduceTraffic(4, 2000);
+    p.spec.horizon = seconds(18);
+    p.spec.features.fabricCoalesceWindow = seconds(1);
+    downTrunk(p.spec, seconds(10), /*spine=*/1);
+    downTrunk(p.spec, milliseconds(11500), /*spine=*/3);
+    downTrunk(p.spec, seconds(13), /*spine=*/5);
+    downTrunk(p.spec, milliseconds(14500), /*spine=*/7);
+    p.label.rootCause = "fault_storm";
+    p.label.tInject = seconds(10);
+    p.label.seed = 803;
+    p.label.notes = "four trunks fail within 5s under fabric "
+                    "coalescing; one storm verdict, not four";
+    return p;
+}
+
+IncidentPlan
+portDegradationTx()
+{
+    IncidentPlan p;
+    p.spec = allreduceTraffic(4, 2000);
+    p.spec.horizon = seconds(25);
+    p.spec.metrics.cnpSamplePeriod = milliseconds(500);
+    FaultSpec f;
+    f.at = seconds(12);
+    f.type = FaultType::SlowNicTx;
+    f.node = 5;
+    f.allNics = true;
+    f.severity = 0.4;
+    p.spec.faults.push_back(f);
+    p.label.rootCause = "port_degradation";
+    p.label.culpritNode = 5;
+    p.label.tInject = seconds(12);
+    p.label.seed = 804;
+    p.label.notes = "node 5 Tx capacity drops to 40% on every NIC";
+    return p;
+}
+
+IncidentPlan
+portDegradationRxSteered()
+{
+    IncidentPlan p;
+    p.spec.jobs.push_back(trainingJob());
+    p.spec.horizon = minutes(5);
+    enableSteering(p.spec);
+    // Wait-pattern floor low enough that a 70% Rx cut stands out of
+    // jitter (the ablation_detection calibration), and a short
+    // isolation delay so the restart lands well inside the horizon.
+    p.spec.features.minWaitForSlow = milliseconds(20);
+    p.spec.features.isolationDelay = seconds(5);
+    FaultSpec f;
+    f.at = seconds(30);
+    f.type = FaultType::SlowNicRx;
+    f.job = 1;
+    f.jobNodeIndex = 2;
+    f.allNics = true;
+    f.severity = 0.1;
+    p.spec.faults.push_back(f);
+    p.label.rootCause = "port_degradation";
+    p.label.tInject = seconds(30);
+    p.label.seed = 805;
+    p.label.notes = "job node Rx degraded to 10%; C4D isolates and "
+                    "restarts, which must fold into the port verdict";
+    p.culpritFromTrace = true;
+    return p;
+}
+
+IncidentPlan
+nodeCrash(const char *notes, FaultType type, int jobNodeIndex,
+          Time at, std::uint64_t seed, bool localizable)
+{
+    IncidentPlan p;
+    p.spec.jobs.push_back(trainingJob());
+    p.spec.horizon = minutes(3);
+    enableSteering(p.spec);
+    p.spec.features.hangThreshold = seconds(30);
+    p.spec.features.isolationDelay = seconds(10);
+    FaultSpec f;
+    f.at = at;
+    f.type = type;
+    f.job = 1;
+    f.jobNodeIndex = jobNodeIndex;
+    p.spec.faults.push_back(f);
+    p.label.rootCause = "node_crash";
+    p.label.tInject = at;
+    p.label.seed = seed;
+    p.label.notes = notes;
+    p.culpritFromTrace = localizable;
+    return p;
+}
+
+IncidentPlan
+healthyBaseline()
+{
+    IncidentPlan p;
+    p.spec = allreduceTraffic(4, 2000);
+    // The CNP sampler keeps the event queue alive, so healthy runs
+    // need an explicit horizon (there is no fault plan to outlast).
+    p.spec.horizon = seconds(10);
+    p.spec.metrics.cnpSamplePeriod = milliseconds(500);
+    p.label.seed = 809;
+    p.label.notes = "fault-free cross-segment allreduces; any verdict "
+                    "is a false positive";
+    return p;
+}
+
+IncidentPlan
+healthyCongested()
+{
+    IncidentPlan p;
+    p.spec = allreduceTraffic(8, 2000);
+    p.spec.horizon = seconds(10);
+    p.spec.topology.oversubscription = 2.0;
+    p.spec.metrics.cnpSamplePeriod = milliseconds(500);
+    p.label.seed = 810;
+    p.label.notes = "2:1 oversubscribed fabric, heavy CNP marking but "
+                    "no fault; congestion alone must stay silent";
+    return p;
+}
+
+struct Entry
+{
+    const char *name;
+    IncidentPlan (*build)();
+};
+
+IncidentPlan
+nodeCrashEcc()
+{
+    return nodeCrash("GPU memory ECC failure kills a rank; hardware "
+                     "logs localize the restart",
+                     FaultType::EccError, 1, seconds(30), 806, true);
+}
+
+IncidentPlan
+nodeCrashNvlink()
+{
+    return nodeCrash("NVLink error crashes a rank mid-iteration",
+                     FaultType::NvlinkError, 3, seconds(25), 807,
+                     true);
+}
+
+IncidentPlan
+nodeCrashCudaSilent()
+{
+    return nodeCrash("CUDA runtime death leaves no hardware trace; "
+                     "the crash is detected but unlocalized",
+                     FaultType::CudaError, 2, seconds(30), 808,
+                     false);
+}
+
+constexpr Entry kIncidents[] = {
+    {"healthy_baseline", healthyBaseline},
+    {"healthy_congested", healthyCongested},
+    {"link_failure_flap", linkFailureFlap},
+    {"link_failure_single", linkFailureSingle},
+    {"link_storm_coalesced", linkStormCoalesced},
+    {"node_crash_cuda_silent", nodeCrashCudaSilent},
+    {"node_crash_ecc", nodeCrashEcc},
+    {"node_crash_nvlink", nodeCrashNvlink},
+    {"port_degradation_rx_steered", portDegradationRxSteered},
+    {"port_degradation_tx", portDegradationTx},
+};
+
+} // namespace
+
+trace::KindMask
+captureKindMask()
+{
+    return trace::kAllKinds &
+           ~(trace::kindBit(trace::EventKind::RecomputeBegin) |
+             trace::kindBit(trace::EventKind::RecomputeEnd));
+}
+
+std::vector<std::string>
+captureIncidentNames()
+{
+    std::vector<std::string> names;
+    for (const Entry &e : kIncidents)
+        names.emplace_back(e.name);
+    return names;
+}
+
+CaptureResult
+captureIncident(const std::string &name)
+{
+    const Entry *entry = nullptr;
+    for (const Entry &e : kIncidents) {
+        if (name == e.name)
+            entry = &e;
+    }
+    if (entry == nullptr)
+        throw std::invalid_argument("unknown incident \"" + name +
+                                    "\"");
+    IncidentPlan plan = entry->build();
+    plan.label.name = entry->name;
+    plan.spec.variant = entry->name;
+
+    trace::TraceRecorder recorder(captureKindMask());
+    scenario::RunOptions opt;
+    scenario::TrialContext ctx(opt, plan.label.seed, 0);
+    ctx.tracer = &recorder;
+    scenario::runSpecTrial(plan.spec, ctx);
+
+    CaptureResult res;
+    res.label = std::move(plan.label);
+    res.events = recorder.events();
+    if (plan.culpritFromTrace) {
+        for (const trace::Event &ev : res.events) {
+            if (ev.kind == trace::EventKind::FaultInjected) {
+                res.label.culpritNode = ev.node;
+                break;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace c4::replay

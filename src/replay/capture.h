@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Corpus capture: the built-in incident scenarios and the harness that
+ * simulates one of them with tracing attached, producing the labeled
+ * trace the replay gate commits under tests/incidents/.
+ *
+ * Each incident is a small declarative ScenarioSpec (scenario/spec.h)
+ * plus its ground-truth label. Captures are deterministic: the spec,
+ * the seed, and the recording filter fully determine the trace bytes,
+ * so `c4replay capture` regenerates the committed corpus bit-for-bit.
+ */
+
+#ifndef C4_REPLAY_CAPTURE_H
+#define C4_REPLAY_CAPTURE_H
+
+#include <string>
+#include <vector>
+
+#include "replay/corpus.h"
+#include "trace/trace.h"
+
+namespace c4::replay {
+
+/** One freshly-simulated incident: finished label + recorded events. */
+struct CaptureResult
+{
+    IncidentLabel label;
+    std::vector<trace::Event> events;
+};
+
+/**
+ * The recording filter captures use: every kind except the fabric
+ * recompute begin/end spans, which dominate trace volume (one pair per
+ * re-filled flow set) and carry nothing the incident analyzer reads.
+ */
+trace::KindMask captureKindMask();
+
+/** Names of the built-in incidents, in corpus (sorted) order. */
+std::vector<std::string> captureIncidentNames();
+
+/**
+ * Simulate incident @p name and return its label and event trace.
+ * Labels whose culprit is job-relative (the fault spec names a job
+ * placement slot, not a node) are resolved from the recorded
+ * FaultInjected event, since placement happens at run time.
+ * @throws std::invalid_argument for an unknown name.
+ */
+CaptureResult captureIncident(const std::string &name);
+
+} // namespace c4::replay
+
+#endif // C4_REPLAY_CAPTURE_H

@@ -1,0 +1,279 @@
+#include "replay/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace c4::replay {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kLabelSchema = "c4incident/1";
+constexpr const char *kTraceSuffix = ".trace.jsonl";
+constexpr const char *kLabelSuffix = ".label.json";
+
+Json
+makeInt(std::int64_t v)
+{
+    Json j;
+    j.kind = Json::Kind::Int;
+    j.integer = v;
+    return j;
+}
+
+Json
+makeDouble(double v)
+{
+    Json j;
+    j.kind = Json::Kind::Double;
+    j.number = v;
+    return j;
+}
+
+Json
+makeBool(bool v)
+{
+    Json j;
+    j.kind = Json::Kind::Bool;
+    j.boolean = v;
+    return j;
+}
+
+Json
+makeString(std::string s)
+{
+    Json j;
+    j.kind = Json::Kind::String;
+    j.string = std::move(s);
+    return j;
+}
+
+void
+addMember(Json &obj, const char *key, Json value)
+{
+    Json::Member m;
+    m.key = key;
+    m.value = std::move(value);
+    obj.object.push_back(std::move(m));
+}
+
+[[noreturn]] void
+bindFail(const Json &at, const std::string &what)
+{
+    throw SpecError(what, at.line, at.column);
+}
+
+std::int64_t
+bindInt(const Json &v, const char *key)
+{
+    if (v.kind != Json::Kind::Int)
+        bindFail(v, std::string("\"") + key + "\" must be an integer");
+    return v.integer;
+}
+
+std::string
+bindString(const Json &v, const char *key)
+{
+    if (v.kind != Json::Kind::String)
+        bindFail(v, std::string("\"") + key + "\" must be a string");
+    return v.string;
+}
+
+} // namespace
+
+std::string
+writeLabelJson(const IncidentLabel &label)
+{
+    Json obj;
+    obj.kind = Json::Kind::Object;
+    addMember(obj, "schema", makeString(kLabelSchema));
+    addMember(obj, "name", makeString(label.name));
+    addMember(obj, "root_cause", makeString(label.rootCause));
+    addMember(obj, "culprit_node", makeInt(label.culpritNode));
+    Json links;
+    links.kind = Json::Kind::Array;
+    for (std::int64_t l : label.culpritLinks)
+        links.array.push_back(makeInt(l));
+    addMember(obj, "culprit_links", std::move(links));
+    addMember(obj, "t_inject_ns", makeInt(label.tInject));
+    addMember(obj, "seed",
+              makeInt(static_cast<std::int64_t>(label.seed)));
+    addMember(obj, "notes", makeString(label.notes));
+    return writeJson(obj) + "\n";
+}
+
+IncidentLabel
+labelFromJson(const std::string &text)
+{
+    const Json root = parseJson(text);
+    if (root.kind != Json::Kind::Object)
+        bindFail(root, "label must be a JSON object");
+    IncidentLabel label;
+    bool haveSchema = false;
+    for (const Json::Member &m : root.object) {
+        const Json &v = m.value;
+        if (m.key == "schema") {
+            if (bindString(v, "schema") != kLabelSchema)
+                bindFail(v, "unsupported label schema \"" + v.string +
+                                "\" (want " + kLabelSchema + ")");
+            haveSchema = true;
+        } else if (m.key == "name") {
+            label.name = bindString(v, "name");
+        } else if (m.key == "root_cause") {
+            label.rootCause = bindString(v, "root_cause");
+            c4d::IncidentKind kind;
+            if (label.rootCause != "none" &&
+                !c4d::incidentKindFromName(label.rootCause, kind)) {
+                bindFail(v, "unknown root_cause \"" + label.rootCause +
+                                "\"");
+            }
+        } else if (m.key == "culprit_node") {
+            label.culpritNode =
+                static_cast<NodeId>(bindInt(v, "culprit_node"));
+        } else if (m.key == "culprit_links") {
+            if (v.kind != Json::Kind::Array)
+                bindFail(v, "\"culprit_links\" must be an array");
+            for (const Json &e : v.array)
+                label.culpritLinks.push_back(
+                    bindInt(e, "culprit_links"));
+        } else if (m.key == "t_inject_ns") {
+            label.tInject = bindInt(v, "t_inject_ns");
+        } else if (m.key == "seed") {
+            label.seed =
+                static_cast<std::uint64_t>(bindInt(v, "seed"));
+        } else if (m.key == "notes") {
+            label.notes = bindString(v, "notes");
+        } else {
+            throw SpecError("unknown label key \"" + m.key + "\"",
+                            m.keyLine, m.keyColumn);
+        }
+    }
+    if (!haveSchema)
+        bindFail(root, "label needs a \"schema\" member");
+    if (label.name.empty())
+        bindFail(root, "label needs a non-empty \"name\"");
+    return label;
+}
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad())
+        throw std::runtime_error("read error on " + path);
+    return ss.str();
+}
+
+void
+writeFileOrThrow(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << text;
+    out.flush();
+    if (!out)
+        throw std::runtime_error("write error on " + path);
+}
+
+std::vector<Incident>
+collectIncidents(const std::string &dir)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        throw std::runtime_error(dir + " is not a directory");
+
+    std::vector<std::string> names;
+    std::vector<std::string> orphanLabels;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string file = entry.path().filename().string();
+        if (file.size() > std::string(kTraceSuffix).size() &&
+            file.ends_with(kTraceSuffix)) {
+            names.push_back(file.substr(
+                0, file.size() - std::string(kTraceSuffix).size()));
+        } else if (file.size() > std::string(kLabelSuffix).size() &&
+                   file.ends_with(kLabelSuffix)) {
+            orphanLabels.push_back(file.substr(
+                0, file.size() - std::string(kLabelSuffix).size()));
+        }
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string &l : orphanLabels) {
+        if (std::find(names.begin(), names.end(), l) == names.end())
+            throw std::runtime_error(dir + ": label " + l +
+                                     kLabelSuffix +
+                                     " has no matching trace");
+    }
+    if (names.empty())
+        throw std::runtime_error(dir + ": no *.trace.jsonl incidents");
+
+    std::vector<Incident> out;
+    out.reserve(names.size());
+    for (const std::string &name : names) {
+        Incident inc;
+        inc.name = name;
+        inc.tracePath = (fs::path(dir) / (name + kTraceSuffix)).string();
+        const std::string labelPath =
+            (fs::path(dir) / (name + kLabelSuffix)).string();
+        try {
+            inc.label = labelFromJson(readFileOrThrow(labelPath));
+        } catch (const SpecError &e) {
+            throw std::runtime_error(labelPath + ": " + e.what());
+        }
+        if (inc.label.name != name) {
+            throw std::runtime_error(
+                labelPath + ": label name \"" + inc.label.name +
+                "\" does not match file name \"" + name + "\"");
+        }
+        out.push_back(std::move(inc));
+    }
+    return out;
+}
+
+std::string
+verdictsToJsonl(const std::string &incident,
+                const std::vector<c4d::IncidentVerdict> &vs)
+{
+    std::string out;
+    if (vs.empty()) {
+        Json obj;
+        obj.kind = Json::Kind::Object;
+        addMember(obj, "incident", makeString(incident));
+        addMember(obj, "verdicts", makeInt(0));
+        out += writeJsonCompact(obj);
+        out.push_back('\n');
+        return out;
+    }
+    for (const c4d::IncidentVerdict &v : vs) {
+        Json obj;
+        obj.kind = Json::Kind::Object;
+        addMember(obj, "incident", makeString(incident));
+        addMember(obj, "kind",
+                  makeString(c4d::incidentKindName(v.kind)));
+        addMember(obj, "node", makeInt(v.node));
+        addMember(obj, "link", makeInt(v.link));
+        addMember(obj, "t_detect", makeInt(v.detectedAt));
+        addMember(obj, "cause", makeString(v.cause));
+        addMember(obj, "corroborated", makeBool(v.corroborated));
+        addMember(obj, "confidence", makeDouble(v.confidence));
+        addMember(obj, "evidence", makeString(v.evidence));
+        out += writeJsonCompact(obj);
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace c4::replay

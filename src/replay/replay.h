@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Offline trace replay: recorded JSONL event traces fed back through
+ * the incident analyzer with no live simulator.
+ *
+ * A replayed run is three layers:
+ *
+ *  - ReplayClock: the trace's own timestamps drive a monotonic clock;
+ *    a regression in the record stream is a corrupted or hand-edited
+ *    trace and aborts with the offending record index.
+ *  - dispatchEvent: the adapter decoding each trace::Event (per the
+ *    trace.h field-semantics table) into the typed telemetry records
+ *    of c4d/telemetry.h.
+ *  - replayTrace: clock + adapter + c4d::IncidentAnalyzer end to end,
+ *    producing the run's incident verdicts.
+ *
+ * Because live traces are byte-deterministic and the analyzer is a
+ * pure function of the record stream, replaying a file yields verdicts
+ * byte-identical to analyzing the live run that wrote it.
+ */
+
+#ifndef C4_REPLAY_REPLAY_H
+#define C4_REPLAY_REPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "c4d/incident.h"
+#include "c4d/telemetry.h"
+#include "trace/trace.h"
+
+namespace c4::replay {
+
+/** Monotonic clock driven by replayed timestamps. */
+class ReplayClock
+{
+  public:
+    Time now() const { return now_; }
+
+    /**
+     * Advance to @p when (record index @p index, for diagnostics).
+     * @throws std::runtime_error on a time regression.
+     */
+    void advanceTo(Time when, std::size_t index);
+
+  private:
+    Time now_ = 0;
+};
+
+/**
+ * Decode one recorded event into typed telemetry on @p sink.
+ * Unknown PathRealloc detail labels (a newer writer) throw rather
+ * than silently dropping telemetry the detectors may rely on.
+ */
+void dispatchEvent(const trace::Event &ev, c4d::TelemetrySink &sink);
+
+/**
+ * Stream a whole trace through @p sink under a ReplayClock.
+ * @throws std::runtime_error on time regressions or undecodable
+ *         records, naming the 1-based record number.
+ */
+void feedTrace(const std::vector<trace::Event> &events,
+               c4d::TelemetrySink &sink);
+
+/** Load (trace/analyze.h), feed, and diagnose one trace file. */
+std::vector<c4d::IncidentVerdict>
+replayTrace(const std::vector<trace::Event> &events,
+            const c4d::IncidentAnalyzerConfig &cfg = {});
+
+} // namespace c4::replay
+
+#endif // C4_REPLAY_REPLAY_H

@@ -1,0 +1,124 @@
+#include "replay/score.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace c4::replay {
+
+namespace {
+
+bool
+culpritMatches(const IncidentLabel &label,
+               const c4d::IncidentVerdict &v)
+{
+    if (label.culpritNode >= 0)
+        return v.node == label.culpritNode;
+    if (!label.culpritLinks.empty())
+        return std::find(label.culpritLinks.begin(),
+                         label.culpritLinks.end(),
+                         v.link) != label.culpritLinks.end();
+    return true; // kind-only label (e.g. unlocalizable crash)
+}
+
+} // namespace
+
+IncidentScore
+scoreIncident(const Incident &incident,
+              const std::vector<c4d::IncidentVerdict> &verdicts)
+{
+    const IncidentLabel &label = incident.label;
+    IncidentScore s;
+    s.name = incident.name;
+    s.labelKind = label.rootCause;
+    s.verdicts = static_cast<int>(verdicts.size());
+
+    std::size_t matched = verdicts.size(); // sentinel: none
+    if (label.rootCause != "none") {
+        c4d::IncidentKind want;
+        const bool known =
+            c4d::incidentKindFromName(label.rootCause, want);
+        for (std::size_t i = 0; known && i < verdicts.size(); ++i) {
+            const c4d::IncidentVerdict &v = verdicts[i];
+            if (v.kind == want && v.detectedAt >= label.tInject &&
+                culpritMatches(label, v)) {
+                matched = i;
+                break;
+            }
+        }
+        s.truePositive = matched < verdicts.size();
+        s.falseNegative = !s.truePositive;
+        if (s.truePositive) {
+            s.ttdSeconds = toSeconds(verdicts[matched].detectedAt -
+                                     label.tInject);
+        }
+    }
+    s.falsePositives =
+        s.verdicts - (s.truePositive ? 1 : 0);
+
+    if (label.rootCause == "none")
+        s.outcome = s.falsePositives == 0 ? "clean" : "noisy";
+    else if (s.truePositive)
+        s.outcome = s.falsePositives == 0 ? "detected" : "noisy";
+    else
+        s.outcome = "missed";
+    return s;
+}
+
+ScoreReport
+aggregateScores(std::vector<IncidentScore> scores)
+{
+    ScoreReport r;
+    double ttdSum = 0.0;
+    for (const IncidentScore &s : scores) {
+        if (s.truePositive) {
+            ++r.tp;
+            ttdSum += s.ttdSeconds;
+            r.maxTtdSeconds = std::max(r.maxTtdSeconds, s.ttdSeconds);
+        }
+        if (s.falseNegative)
+            ++r.fn;
+        r.fp += s.falsePositives;
+    }
+    r.precision =
+        r.tp + r.fp > 0
+            ? static_cast<double>(r.tp) / static_cast<double>(r.tp + r.fp)
+            : 1.0;
+    r.recall =
+        r.tp + r.fn > 0
+            ? static_cast<double>(r.tp) / static_cast<double>(r.tp + r.fn)
+            : 1.0;
+    r.meanTtdSeconds = r.tp > 0 ? ttdSum / r.tp : 0.0;
+    r.incidents = std::move(scores);
+    return r;
+}
+
+std::string
+formatScoreReport(const ScoreReport &report)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-32s %-18s %8s %8s %10s\n",
+                  "incident", "label", "verdicts", "outcome", "ttd_s");
+    out += line;
+    for (const IncidentScore &s : report.incidents) {
+        char ttd[32];
+        if (s.truePositive)
+            std::snprintf(ttd, sizeof(ttd), "%.3f", s.ttdSeconds);
+        else
+            std::snprintf(ttd, sizeof(ttd), "-");
+        std::snprintf(line, sizeof(line), "%-32s %-18s %8d %8s %10s\n",
+                      s.name.c_str(), s.labelKind.c_str(), s.verdicts,
+                      s.outcome.c_str(), ttd);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "\naggregate: tp=%d fp=%d fn=%d precision=%.3f "
+                  "recall=%.3f ttd_mean_s=%.3f ttd_max_s=%.3f\n",
+                  report.tp, report.fp, report.fn, report.precision,
+                  report.recall, report.meanTtdSeconds,
+                  report.maxTtdSeconds);
+    out += line;
+    return out;
+}
+
+} // namespace c4::replay

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Detection scoring: verdicts vs ground-truth labels.
+ *
+ * Matching rule, per incident: a verdict is the label's true positive
+ * when its kind equals root_cause, it was detected at or after
+ * t_inject_ns, and the culprit matches — node equality when the label
+ * is node-scoped (culprit_node >= 0), link membership when it is
+ * link-scoped (culprit_links non-empty), kind-only otherwise. The
+ * first matching verdict (in detection order) is the TP; every other
+ * verdict of the incident is a false positive; a label with no match
+ * is a false negative. "none" labels make every verdict an FP.
+ *
+ * Time-to-detect is the TP's detection time minus t_inject_ns.
+ * Aggregate precision = TP/(TP+FP) and recall = TP/(TP+FN), both 1.0
+ * when the denominator is empty.
+ */
+
+#ifndef C4_REPLAY_SCORE_H
+#define C4_REPLAY_SCORE_H
+
+#include <string>
+#include <vector>
+
+#include "replay/corpus.h"
+
+namespace c4::replay {
+
+/** One incident's outcome. */
+struct IncidentScore
+{
+    std::string name;
+    std::string labelKind;
+    int verdicts = 0;
+    bool truePositive = false;
+    int falsePositives = 0;
+    bool falseNegative = false;
+    double ttdSeconds = 0.0; ///< valid when truePositive
+    std::string outcome;     ///< "detected", "missed", "clean", "noisy"
+};
+
+/** Corpus-level rollup. */
+struct ScoreReport
+{
+    std::vector<IncidentScore> incidents;
+    int tp = 0;
+    int fp = 0;
+    int fn = 0;
+    double precision = 1.0;
+    double recall = 1.0;
+    double meanTtdSeconds = 0.0; ///< over true positives
+    double maxTtdSeconds = 0.0;
+};
+
+/** Score one incident's verdicts against its label. */
+IncidentScore
+scoreIncident(const Incident &incident,
+              const std::vector<c4d::IncidentVerdict> &verdicts);
+
+/** Aggregate per-incident scores into the corpus report. */
+ScoreReport aggregateScores(std::vector<IncidentScore> scores);
+
+/** Human-readable report: per-incident table + aggregate block. */
+std::string formatScoreReport(const ScoreReport &report);
+
+} // namespace c4::replay
+
+#endif // C4_REPLAY_SCORE_H

@@ -101,6 +101,45 @@ Simulator::finishSchedule(Time when, std::uint32_t slot)
 }
 
 void
+Simulator::beginBatch(std::size_t n)
+{
+    // Worst case every entry lands in one band; reserving both keeps
+    // the batch loop itself allocation-free after this point.
+    heap_.reserve(heap_.size() + n);
+    far_.reserve(far_.size() + n);
+}
+
+EventId
+Simulator::batchSchedule(Time when, std::uint32_t slot, bool &nearAdded)
+{
+    if (when < now_)
+        when = now_; // clamp: events cannot fire in the past
+    Slot &s = slotRef(slot);
+    s.when = when;
+    const HeapEntry e{when, nextSeq_++, slot, s.gen};
+    if (when <= horizon_) {
+        heap_.push_back(e); // raw append; heapifyNear() restores order
+        nearAdded = true;
+    } else {
+        if (when < farMin_)
+            farMin_ = when;
+        far_.push_back(e);
+    }
+    ++liveCount_;
+    return makeId(slot, s.gen);
+}
+
+void
+Simulator::heapifyNear()
+{
+    // Same Floyd rebuild as compact()/promote(): pop order depends only
+    // on entryBefore's (when, seq) total order, not heap layout, so a
+    // batch is indistinguishable from n individual heapPush calls.
+    for (std::size_t i = (heap_.size() + 2) / 4; i-- > 0;)
+        siftDown(i);
+}
+
+void
 Simulator::heapPush(const HeapEntry &e)
 {
     // Sift-up through the 4-ary heap, moving holes instead of swapping.

@@ -149,6 +149,17 @@ parseJsonl(const std::string &text)
                                                         : nl;
         ++lineNo;
         const std::string line = text.substr(start, end - start);
+        // A record without its terminating newline is a truncated
+        // write (writeJsonl always newline-terminates): even when the
+        // visible prefix happens to parse, trailing fields of the
+        // record may be missing, so reject instead of silently
+        // keeping a plausible-looking half event.
+        if (nl == std::string::npos && !line.empty()) {
+            throw SpecError("record on line " + std::to_string(lineNo) +
+                                ": truncated record (missing final "
+                                "newline; incomplete write?)",
+                            0, 0);
+        }
         if (!line.empty()) {
             try {
                 out.push_back(eventFromJson(parseJson(line)));

@@ -37,6 +37,13 @@ std::string writeJsonl(const std::vector<Event> &events);
 
 /**
  * Parse a JSONL document produced by writeJsonl.
+ *
+ * Strict by design (the incident corpus depends on it): malformed
+ * records, unknown kinds/keys, and truncated input all throw — a
+ * final record without its terminating newline is rejected as a
+ * truncated write even when the visible prefix parses, because
+ * writeJsonl always newline-terminates and a mid-line EOF may have
+ * silently dropped trailing fields of the record.
  * @throws SpecError with the 1-based line number of the bad record.
  */
 std::vector<Event> parseJsonl(const std::string &text);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf trend gate over committed c4perf/1 baselines.
+
+Compares the two most recent ``BENCH_<n>.json`` files in the repo root
+(or the paths given on the command line) and fails when any pooled-
+kernel workload's ``pooled_vs_legacy_median`` speedup regressed by more
+than 25% against the previous baseline.
+
+The ratio is machine-independent where the raw ns numbers are not:
+pooled and legacy run the same workload on the same machine in the same
+process, so a collapsing ratio means the pooled kernel itself got
+slower, not that CI moved to different hardware.
+
+Usage:
+    tests/perf_trend.py                 # auto-pick latest two in repo
+    tests/perf_trend.py OLD.json NEW.json
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REGRESSION_FACTOR = 1.25  # fail when new ratio < old ratio / this
+
+
+def find_baselines(root):
+    """Return the two highest-numbered BENCH_<n>.json paths, old first."""
+    found = []
+    for path in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if m:
+            found.append((int(m.group(1)), path))
+    found.sort()
+    if len(found) < 2:
+        print(
+            "perf_trend: only %d committed baseline(s); nothing to "
+            "compare (need two)" % len(found)
+        )
+        sys.exit(0)
+    return found[-2][1], found[-1][1]
+
+
+def load_ratios(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "c4perf/1":
+        sys.exit("perf_trend: %s: unexpected schema %r" % (path, doc.get("schema")))
+    return {r["name"]: r["pooled_vs_legacy_median"] for r in doc["ratios"]}
+
+
+def main(argv):
+    if len(argv) == 3:
+        old_path, new_path = Path(argv[1]), Path(argv[2])
+    elif len(argv) == 1:
+        old_path, new_path = find_baselines(Path(__file__).resolve().parent.parent)
+    else:
+        sys.exit("usage: perf_trend.py [OLD.json NEW.json]")
+
+    old, new = load_ratios(old_path), load_ratios(new_path)
+    missing = sorted(set(old) - set(new))
+    if missing:
+        sys.exit(
+            "perf_trend: %s dropped workload(s) present in %s: %s"
+            % (new_path.name, old_path.name, ", ".join(missing))
+        )
+
+    failed = False
+    print("perf trend: %s -> %s" % (old_path.name, new_path.name))
+    for name in sorted(new):
+        if name not in old:
+            print("  %-24s NEW   ratio %.3f" % (name, new[name]))
+            continue
+        floor = old[name] / REGRESSION_FACTOR
+        verdict = "ok" if new[name] >= floor else "REGRESSED"
+        failed |= new[name] < floor
+        print(
+            "  %-24s %-5s ratio %.3f -> %.3f (floor %.3f)"
+            % (name, verdict, old[name], new[name], floor)
+        )
+    if failed:
+        sys.exit(
+            "perf_trend: pooled-kernel speedup regressed by more than "
+            "%d%%" % round((REGRESSION_FACTOR - 1) * 100)
+        )
+    print("perf trend: ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

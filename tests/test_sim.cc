@@ -615,6 +615,103 @@ soup(std::uint64_t seed)
 
 } // namespace equivalence
 
+TEST(SimulatorBatch, MatchesSingleCallFireOrder)
+{
+    // One scheduleBatchAfter must fire byte-identically to N
+    // scheduleAfter calls in the same order — including ties, which
+    // resolve by sequence number. Delays span both bands (the +400 s
+    // entries land in the unsorted far band).
+    const std::vector<Duration> delays = {
+        seconds(3),  seconds(1),   seconds(1),  0,
+        seconds(2),  seconds(1),   seconds(400), seconds(401),
+        seconds(2),  0,            seconds(400), seconds(7)};
+
+    std::vector<int> single, batched;
+    Simulator a;
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+        a.scheduleAfter(delays[i],
+                        [&single, i] { single.push_back(static_cast<int>(i)); });
+    }
+    a.run();
+
+    Simulator b;
+    std::vector<std::pair<Duration, std::function<void()>>> items;
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+        items.emplace_back(delays[i], [&batched, i] {
+            batched.push_back(static_cast<int>(i));
+        });
+    }
+    const std::vector<EventId> ids =
+        b.scheduleBatchAfter(std::move(items));
+    EXPECT_EQ(ids.size(), delays.size());
+    b.run();
+
+    EXPECT_EQ(batched, single);
+    EXPECT_EQ(a.now(), b.now());
+}
+
+TEST(SimulatorBatch, InterleavesWithSinglesBySequence)
+{
+    // Ties across a batch boundary keep global FIFO order: singles
+    // scheduled before the batch fire first, batch entries next (in
+    // array order), singles after the batch last.
+    Simulator sim;
+    std::vector<int> order;
+    sim.scheduleAfter(seconds(1), [&] { order.push_back(0); });
+    std::vector<std::pair<Duration, std::function<void()>>> items;
+    for (int i = 1; i <= 3; ++i)
+        items.emplace_back(seconds(1), [&order, i] { order.push_back(i); });
+    sim.scheduleBatchAfter(std::move(items));
+    sim.scheduleAfter(seconds(1), [&] { order.push_back(4); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorBatch, IdsCancelIndividually)
+{
+    Simulator sim;
+    std::vector<int> fired;
+    std::vector<std::pair<Duration, std::function<void()>>> items;
+    for (int i = 0; i < 6; ++i) {
+        const Duration d = i < 3 ? seconds(i + 1) : seconds(500 + i);
+        items.emplace_back(d, [&fired, i] { fired.push_back(i); });
+    }
+    const std::vector<EventId> ids =
+        sim.scheduleBatchAfter(std::move(items));
+    ASSERT_EQ(ids.size(), 6u);
+    EXPECT_TRUE(sim.cancel(ids[1])); // near band
+    EXPECT_TRUE(sim.cancel(ids[4])); // far band
+    EXPECT_FALSE(sim.cancel(ids[1]));
+    sim.run();
+    EXPECT_EQ(fired, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(SimulatorBatch, EmptyBatchIsNoop)
+{
+    Simulator sim;
+    std::vector<std::pair<Duration, std::function<void()>>> none;
+    EXPECT_TRUE(sim.scheduleBatchAfter(std::move(none)).empty());
+    EXPECT_EQ(sim.pendingCount(), 0u);
+    sim.run();
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorBatch, LargeTiedBatchKeepsArrayOrder)
+{
+    // Heapify must not be able to reorder ties: 512 entries at one
+    // timestamp fire exactly in input order.
+    Simulator sim;
+    std::vector<int> order;
+    std::vector<std::pair<Duration, std::function<void()>>> items;
+    for (int i = 0; i < 512; ++i)
+        items.emplace_back(seconds(1), [&order, i] { order.push_back(i); });
+    sim.scheduleBatchAfter(std::move(items));
+    sim.run();
+    ASSERT_EQ(order.size(), 512u);
+    for (int i = 0; i < 512; ++i)
+        ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(SimulatorEquivalence, RandomSoupSeed1)
 {
     equivalence::soup(0x9e3779b97f4a7c15ull);

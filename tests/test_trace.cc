@@ -496,5 +496,47 @@ TEST(Diff, ReportsIdenticalTracesAndInjectedDivergences)
               std::string::npos);
 }
 
+TEST(Jsonl, EveryPrefixOfARealIncidentTraceParsesOrThrows)
+{
+    // Harden the reader against truncated writes: for a real corpus
+    // file (the replay subsystem's input), every byte-prefix must
+    // either parse cleanly (prefix ends on a record boundary) or throw
+    // a line-numbered SpecError — never crash, never silently return a
+    // short-read record.
+    std::ifstream in(std::string(C4_INCIDENT_CORPUS_DIR) +
+                     "/port_degradation_tx.trace.jsonl");
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    ASSERT_GT(text.size(), 1000u);
+
+    const std::size_t fullCount = parseJsonl(text).size();
+    std::size_t parsed = 0;
+    for (std::size_t len = 0; len <= text.size(); ++len) {
+        const std::string prefix = text.substr(0, len);
+        const bool atBoundary =
+            len == 0 || text[len - 1] == '\n';
+        try {
+            const std::vector<Event> events = parseJsonl(prefix);
+            ++parsed;
+            EXPECT_TRUE(atBoundary)
+                << "mid-line prefix of length " << len
+                << " parsed as " << events.size() << " records";
+        } catch (const SpecError &e) {
+            EXPECT_FALSE(atBoundary)
+                << "boundary prefix of length " << len
+                << " rejected: " << e.what();
+            EXPECT_NE(std::string(e.what()).find("line"),
+                      std::string::npos)
+                << "error at length " << len
+                << " carries no line number: " << e.what();
+        }
+    }
+    // Exactly the record boundaries parse: one per line, plus the
+    // empty prefix; everything mid-line throws.
+    EXPECT_EQ(parsed, fullCount + 1);
+}
+
 } // namespace
 } // namespace c4::trace
