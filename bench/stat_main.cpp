@@ -1,0 +1,182 @@
+/**
+ * @file
+ * c4stat — inspect the deterministic metric snapshots written by
+ * `c4bench --metrics DIR`.
+ *
+ *   c4stat summary PATH...         per-metric rollup (kind, ticks,
+ *                                  last value, window percentiles);
+ *                                  PATH is a .jsonl snapshot file or
+ *                                  a directory searched recursively
+ *   c4stat tail PATH... [--ticks N]
+ *                                  the last N sampling ticks of each
+ *                                  snapshot, one line per sample
+ *   c4stat diff A.jsonl B.jsonl [--context N]
+ *                                  byte-compare two snapshots and
+ *                                  report the first divergence with
+ *                                  context — exit 0 identical, 1
+ *                                  divergent
+ *
+ * Because a trial's snapshot is byte-identical across thread counts
+ * and reruns with the same seed, `diff` pinpoints exactly where a
+ * nondeterministic change first bites — long before it surfaces (or
+ * hides) in an end-of-run CSV aggregate.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s summary PATH...\n"
+        "       %s tail PATH... [--ticks N]\n"
+        "       %s diff A.jsonl B.jsonl [--context N]\n"
+        "\n"
+        "PATH is a .jsonl metric snapshot, or a directory (every\n"
+        "*.jsonl under it, recursively). `c4bench <scenario>\n"
+        "--metrics DIR` writes them.\n",
+        argv0, argv0, argv0);
+}
+
+/** Expand each argument and load the snapshots it names. */
+int
+loadAll(const std::vector<std::string> &paths,
+        std::vector<c4::obs::SnapshotFile> &out)
+{
+    for (const std::string &path : paths) {
+        try {
+            for (const std::string &file :
+                 c4::obs::collectSnapshotFiles(path)) {
+                out.push_back(c4::obs::loadSnapshotFile(file));
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+    return 0;
+}
+
+int
+mainSummary(int argc, char **argv, const char *argv0)
+{
+    if (argc < 1) {
+        usage(argv0);
+        return 2;
+    }
+    std::vector<std::string> paths(argv, argv + argc);
+    std::vector<c4::obs::SnapshotFile> files;
+    const int rc = loadAll(paths, files);
+    if (rc != 0)
+        return rc;
+    c4::obs::printSummary(files, std::cout);
+    return 0;
+}
+
+int
+mainTail(int argc, char **argv, const char *argv0)
+{
+    std::vector<std::string> paths;
+    int ticks = 5;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ticks") == 0) {
+            char *end = nullptr;
+            const long v = i + 1 < argc
+                               ? std::strtol(argv[++i], &end, 10)
+                               : -1;
+            if (!end || *end != '\0' || v < 1 || v > 100000) {
+                usage(argv0);
+                return 2;
+            }
+            ticks = static_cast<int>(v);
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage(argv0);
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.empty()) {
+        usage(argv0);
+        return 2;
+    }
+    std::vector<c4::obs::SnapshotFile> files;
+    const int rc = loadAll(paths, files);
+    if (rc != 0)
+        return rc;
+    c4::obs::printTail(files, ticks, std::cout);
+    return 0;
+}
+
+int
+mainDiff(int argc, char **argv, const char *argv0)
+{
+    std::vector<std::string> paths;
+    int context = 3;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--context") == 0) {
+            char *end = nullptr;
+            const long v = i + 1 < argc
+                               ? std::strtol(argv[++i], &end, 10)
+                               : -1;
+            if (!end || *end != '\0' || v < 0 || v > 100) {
+                usage(argv0);
+                return 2;
+            }
+            context = static_cast<int>(v);
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage(argv0);
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(argv0);
+        return 2;
+    }
+    try {
+        return c4::obs::diffSnapshots(paths[0], paths[1], std::cout,
+                                      context);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h") {
+        usage(argv[0]);
+        return 0;
+    }
+    if (command == "summary")
+        return mainSummary(argc - 2, argv + 2, argv[0]);
+    if (command == "tail")
+        return mainTail(argc - 2, argv + 2, argv[0]);
+    if (command == "diff")
+        return mainDiff(argc - 2, argv + 2, argv[0]);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    usage(argv[0]);
+    return 2;
+}

@@ -11,8 +11,11 @@
  *   c4sweep merge DIR [--csv FILE]
  *       stitch the shard CSVs into output byte-identical to a
  *       single-process `c4bench --threads 1 --csv` run
- *   c4sweep status DIR
- *       show the campaign journal
+ *   c4sweep status DIR [--watch]
+ *       show the campaign journal, or keep polling it as a live
+ *       dashboard (shard states, retry budget burned, and — for
+ *       `run --metrics` campaigns — per-scenario throughput pulled
+ *       from the shard metric snapshots)
  *
  * The same scenario registrations as c4bench are linked in, so `plan`
  * can shard any built-in scenario as well as spec files from disk.
@@ -29,6 +32,7 @@
 #include "sweep/manifest.h"
 #include "sweep/merge.h"
 #include "sweep/plan.h"
+#include "sweep/watch.h"
 
 namespace {
 
@@ -41,12 +45,12 @@ usage(const char *argv0)
         "               [--smoke] [--trials N] [--seed S]\n"
         "               <scenario|spec.json>...\n"
         "       %s run DIR [--bench PATH] [--workers N]\n"
-        "               [--retries N] [--max-shards N]\n"
+        "               [--retries N] [--max-shards N] [--metrics]\n"
         "               [--only id1,id2]   (shard ids from `status`;\n"
         "               unknown ids are an error — hand each host a\n"
         "               disjoint --only set for multi-host campaigns)\n"
         "       %s merge DIR [--csv FILE]   (FILE '-' = stdout)\n"
-        "       %s status DIR\n"
+        "       %s status DIR [--watch] [--interval S] [--max-ticks N]\n"
         "\n"
         "A campaign directory holds shards/*.json (one spec file per\n"
         "trial-range shard), csv/ and logs/ (per-shard results), and\n"
@@ -163,6 +167,8 @@ mainRun(int argc, char **argv, const char *argv0)
                 usage(argv0);
                 return 2;
             }
+        } else if (arg == "--metrics") {
+            request.metrics = true;
         } else if (arg == "--only") {
             const char *v = value();
             if (!v) {
@@ -246,13 +252,54 @@ mainMerge(int argc, char **argv, const char *argv0)
 int
 mainStatus(int argc, char **argv, const char *argv0)
 {
-    if (argc != 1) {
+    std::string dir;
+    bool watch = false;
+    c4::sweep::WatchOptions opt;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--watch") {
+            watch = true;
+        } else if (arg == "--interval") {
+            const char *v = value();
+            char *end = nullptr;
+            const double sec = v ? std::strtod(v, &end) : -1.0;
+            if (!v || end == v || *end != '\0' || sec < 0 ||
+                sec > 3600) {
+                usage(argv0);
+                return 2;
+            }
+            opt.intervalSeconds = sec;
+        } else if (arg == "--max-ticks") {
+            const char *v = value();
+            if (!v || !parseCliInt(v, opt.maxTicks)) {
+                usage(argv0);
+                return 2;
+            }
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv0);
+            return 2;
+        } else if (dir.empty()) {
+            dir = arg;
+        } else {
+            usage(argv0);
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "status needs the campaign DIR\n");
         usage(argv0);
         return 2;
     }
+    if (watch)
+        return c4::sweep::watchCampaign(dir, opt, std::cout);
     try {
         const c4::sweep::Manifest manifest =
-            c4::sweep::loadManifest(argv[0]);
+            c4::sweep::loadManifest(dir);
         c4::sweep::printStatus(manifest, std::cout);
         return c4::sweep::campaignComplete(manifest) ? 0 : 1;
     } catch (const std::exception &e) {

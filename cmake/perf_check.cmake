@@ -25,7 +25,7 @@ endif()
 file(READ "${OUT}" report)
 
 foreach(needle
-        "\"schema\": \"c4perf/1\""
+        "\"schema\": \"c4perf/2\""
         "\"mode\": \"smoke\""
         "\"workloads\""
         "\"ratios\""
@@ -39,11 +39,14 @@ foreach(needle
         "\"scenario_churn_multijob_smoke\""
         "\"median_ns\""
         "\"items_per_sec_median\""
+        "\"alloc_count\""
+        "\"alloc_bytes\""
+        "\"peak_rss_kb\""
         "\"pooled_vs_legacy_median\"")
     string(FIND "${report}" "${needle}" pos)
     if(pos EQUAL -1)
         message(FATAL_ERROR
-            "perf JSON at ${OUT} is missing ${needle} — the c4perf/1 "
+            "perf JSON at ${OUT} is missing ${needle} — the c4perf/2 "
             "schema changed; update cmake/perf_check.cmake and the "
             "README schema table together")
     endif()

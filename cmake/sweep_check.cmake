@@ -5,7 +5,10 @@
 # an interrupted campaign, the second resumes and must not re-execute
 # them — then merge and byte-compare against the CSV a single
 # `c4bench --threads 1` process writes (the ISSUE 4 acceptance
-# criterion).
+# criterion). Both runs pass `--metrics`, and `status --watch` must
+# render the dashboard against the interrupted and the resumed
+# campaign with the matching exit codes (1 = incomplete, 0 =
+# complete).
 #
 # Inputs: BENCH (c4bench path), SWEEP (c4sweep path), SPEC (spec file
 # to include in the campaign), WORK_DIR (scratch dir).
@@ -40,7 +43,7 @@ endif()
 # test_sweep.cc).
 execute_process(
     COMMAND "${SWEEP}" run "${campaign}" --bench "${BENCH}"
-            --max-shards 3
+            --max-shards 3 --metrics
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE first_out)
 if(NOT rc EQUAL 0)
@@ -52,9 +55,32 @@ if(NOT first_out MATCHES "3 executed")
         "${first_out}")
 endif()
 
+# Watching the interrupted campaign: one tick, exit 1 (incomplete),
+# and the dashboard must show the executed shards' snapshots.
+execute_process(
+    COMMAND "${SWEEP}" status "${campaign}" --watch
+            --interval 0 --max-ticks 1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE watch_out)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "status --watch on an interrupted campaign should exit 1, "
+        "got ${rc}:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "retry budget burned")
+    message(FATAL_ERROR
+        "status --watch rendered no dashboard:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "samp/s")
+    message(FATAL_ERROR
+        "status --watch shows no per-shard metric highlights even "
+        "though the run passed --metrics:\n${watch_out}")
+endif()
+
 # Resume: completes the campaign, re-executing nothing.
 execute_process(
     COMMAND "${SWEEP}" run "${campaign}" --bench "${BENCH}"
+            --metrics
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE second_out)
 if(NOT rc EQUAL 0)
@@ -63,6 +89,23 @@ endif()
 if(NOT second_out MATCHES "3 skipped")
     message(FATAL_ERROR
         "resumed run re-executed already-done shards:\n${second_out}")
+endif()
+
+# Watching the finished campaign: exits 0 on the first tick and says
+# so.
+execute_process(
+    COMMAND "${SWEEP}" status "${campaign}" --watch
+            --interval 0 --max-ticks 1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE watch_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "status --watch on a finished campaign should exit 0, got "
+        "${rc}:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "campaign complete")
+    message(FATAL_ERROR
+        "status --watch did not report completion:\n${watch_out}")
 endif()
 
 execute_process(

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * TelemetrySink that folds the C4D observable stream into a live
+ * MetricRegistry — CNP-rate gauges, restart counters, and the
+ * detection-to-restart recovery-latency window. Reuses the replay
+ * seam (telemetry.h), so the detectors never learn that metrics
+ * exist; anything that feeds a sink feeds the dashboard.
+ */
+
+#ifndef C4_C4D_METRICS_SINK_H
+#define C4_C4D_METRICS_SINK_H
+
+#include "c4d/telemetry.h"
+#include "obs/metrics.h"
+
+namespace c4::c4d {
+
+class MetricsTelemetrySink final : public TelemetrySink
+{
+  public:
+    explicit MetricsTelemetrySink(obs::MetricRegistry &registry)
+        : registry_(registry)
+    {
+    }
+
+    void onFault(const FaultRecord &rec) override;
+    void onLinkEvent(const LinkEventRecord &rec) override;
+    void onCnpSample(const CnpRecord &rec) override;
+    void onSteering(const SteeringRecord &rec) override;
+
+  private:
+    obs::MetricRegistry &registry_;
+};
+
+} // namespace c4::c4d
+
+#endif // C4_C4D_METRICS_SINK_H

@@ -108,6 +108,18 @@ JobSteeringService::scheduleRestart(train::TrainingJob &job,
             tr.record(std::move(tev));
         }
 
+        if (telemetry_ != nullptr) {
+            SteeringRecord srec;
+            srec.when = sim_.now();
+            srec.job = id;
+            srec.isolatedNodes =
+                static_cast<std::int64_t>(toIsolate.size());
+            srec.viaC4d = viaC4d;
+            srec.recoveryLatencySeconds =
+                toSeconds(rec.recoveryLatency());
+            telemetry_->onSteering(srec);
+        }
+
         logInfo("steering", "restarting job %d (isolated %zu nodes, "
                 "via %s)", id, toIsolate.size(),
                 viaC4d ? "c4d" : "manual");

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "c4d/master.h"
+#include "c4d/telemetry.h"
 #include "common/random.h"
 #include "common/types.h"
 #include "sim/simulator.h"
@@ -92,6 +93,14 @@ class JobSteeringService
         oracle_ = std::move(oracle);
     }
 
+    /**
+     * Attach a telemetry sink notified of every completed restart
+     * (the same seam replay's trace adapter feeds, so metrics stay
+     * decoupled from the detectors). Nullable; must outlive the
+     * service or be detached first.
+     */
+    void setTelemetrySink(TelemetrySink *sink) { telemetry_ = sink; }
+
     /** @name Introspection @{ */
     const std::unordered_set<NodeId> &isolatedNodes() const
     {
@@ -120,6 +129,7 @@ class JobSteeringService
     std::unordered_set<JobId> restartPending_;
     std::vector<RecoveryRecord> recoveries_;
     std::uint64_t restarts_ = 0;
+    TelemetrySink *telemetry_ = nullptr;
 
     void scheduleRestart(train::TrainingJob &job, Duration delay,
                          std::vector<NodeId> toIsolate, Time eventTime,

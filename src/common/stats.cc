@@ -72,6 +72,12 @@ Summary::percentile(double p) const
 }
 
 double
+Summary::percentileOr(double p, double fallback) const
+{
+    return samples_.empty() ? fallback : percentile(p);
+}
+
+double
 Summary::cv() const
 {
     const double m = mean();
@@ -169,6 +175,78 @@ Histogram::str(std::size_t bar_width) const
            << '\n';
     }
     return os.str();
+}
+
+WindowedQuantile::WindowedQuantile(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity, 0.0)
+{
+}
+
+void
+WindowedQuantile::add(double v)
+{
+    ring_[head_] = v;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size())
+        ++size_;
+    ++count_;
+}
+
+const std::vector<double> &
+WindowedQuantile::sortedWindow() const
+{
+    scratch_.assign(ring_.begin(),
+                    ring_.begin() + static_cast<std::ptrdiff_t>(size_));
+    std::sort(scratch_.begin(), scratch_.end());
+    return scratch_;
+}
+
+double
+WindowedQuantile::min() const
+{
+    if (size_ == 0)
+        return 0.0;
+    return *std::min_element(ring_.begin(),
+                             ring_.begin() +
+                                 static_cast<std::ptrdiff_t>(size_));
+}
+
+double
+WindowedQuantile::max() const
+{
+    if (size_ == 0)
+        return 0.0;
+    return *std::max_element(ring_.begin(),
+                             ring_.begin() +
+                                 static_cast<std::ptrdiff_t>(size_));
+}
+
+double
+WindowedQuantile::percentile(double p) const
+{
+    if (size_ == 0)
+        return 0.0;
+    const std::vector<double> &w = sortedWindow();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(size_ - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, size_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return w[lo] * (1.0 - frac) + w[hi] * frac;
+}
+
+double
+WindowedQuantile::percentileOr(double p, double fallback) const
+{
+    return size_ == 0 ? fallback : percentile(p);
+}
+
+void
+WindowedQuantile::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    count_ = 0;
 }
 
 Ewma::Ewma(double alpha) : alpha_(alpha)

@@ -154,6 +154,13 @@ Fabric::setLinkUp(LinkId id, bool up)
         tev.detail = up ? "link_up" : "link_down";
         tr.record(std::move(tev));
     }
+    obs::MetricsScope &mx = sim_.metrics();
+    if (mx.attached()) {
+        mx.count(up ? "fabric.link_up_events"
+                    : "fabric.link_down_events");
+        mx.count("fabric.flows_rerouted",
+                 static_cast<std::int64_t>(touched));
+    }
     markDirty(cfg_.coalesceWindow);
 }
 
@@ -590,6 +597,19 @@ Fabric::recompute()
         tev.b = static_cast<std::int64_t>(activeLinks.size());
         tev.value = static_cast<double>(work);
         tr.record(std::move(tev));
+    }
+
+    obs::MetricsScope &mx = sim_.metrics();
+    if (mx.attached()) {
+        mx.count("fabric.recomputes");
+        mx.count("fabric.recompute_ops",
+                 static_cast<std::int64_t>(work));
+        // Dirty-component size: flows the incremental recompute had
+        // to touch this pass (the whole point of PR 6's scoping).
+        mx.observe("fabric.component_flows",
+                   static_cast<double>(runnable.size()));
+        mx.observe("fabric.component_links",
+                   static_cast<double>(activeLinks.size()));
     }
 
     // Schedule the next completion (a global scan: any flow's rate may

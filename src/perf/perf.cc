@@ -8,6 +8,8 @@
 #include <functional>
 #include <sstream>
 
+#include <sys/resource.h>
+
 #include "common/json.h"
 #include "net/fabric.h"
 #include "perf/legacy_kernel.h"
@@ -222,6 +224,16 @@ workloadSet()
     };
 }
 
+/** ru_maxrss: the process heap high-water mark, in KiB on Linux. */
+std::uint64_t
+peakRssKbNow()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
 std::uint64_t
 medianOf(std::vector<std::uint64_t> ns)
 {
@@ -249,14 +261,20 @@ runPerf(const PerfOptions &opt)
         for (int i = 0; i < opt.warmup; ++i)
             w.fn(items);
         std::vector<std::uint64_t> ns;
+        std::vector<std::uint64_t> allocCounts;
+        std::vector<std::uint64_t> allocBytes;
         ns.reserve(static_cast<std::size_t>(std::max(opt.reps, 1)));
         for (int i = 0; i < std::max(opt.reps, 1); ++i) {
+            const AllocStats before = allocStatsNow();
             const auto start = Clock::now();
             w.fn(items);
             ns.push_back(static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     Clock::now() - start)
                     .count()));
+            const AllocStats after = allocStatsNow();
+            allocCounts.push_back(after.count - before.count);
+            allocBytes.push_back(after.bytes - before.bytes);
         }
         WorkloadResult r;
         r.name = w.name;
@@ -274,6 +292,12 @@ runPerf(const PerfOptions &opt)
             r.minNs > 0 ? static_cast<double>(items) * 1e9 /
                               static_cast<double>(r.minNs)
                         : 0.0;
+        // Medians keep a one-off lazy initialization (first use of a
+        // static, an arena growth) in an early rep from skewing the
+        // reported steady-state heap traffic.
+        r.allocCount = medianOf(allocCounts);
+        r.allocBytes = medianOf(allocBytes);
+        r.peakRssKb = peakRssKbNow();
         report.workloads.push_back(std::move(r));
     }
 
@@ -333,7 +357,7 @@ perfReportJson(const PerfReport &report, const PerfOptions &opt)
         return j;
     };
 
-    root.object.push_back(member("schema", str("c4perf/1")));
+    root.object.push_back(member("schema", str("c4perf/2")));
     root.object.push_back(
         member("mode", str(opt.smoke ? "smoke" : "full")));
 
@@ -357,6 +381,13 @@ perfReportJson(const PerfReport &report, const PerfOptions &opt)
             member("items_per_sec_median", dbl(r.itemsPerSecMedian)));
         w.object.push_back(
             member("items_per_sec_best", dbl(r.itemsPerSecBest)));
+        // c4perf/2 memory columns.
+        w.object.push_back(
+            member("alloc_count", integer(r.allocCount)));
+        w.object.push_back(
+            member("alloc_bytes", integer(r.allocBytes)));
+        w.object.push_back(
+            member("peak_rss_kb", integer(r.peakRssKb)));
         workloads.array.push_back(std::move(w));
     }
     root.object.push_back(member("workloads", std::move(workloads)));
@@ -382,18 +413,21 @@ perfReportText(const PerfReport &report)
 {
     std::ostringstream out;
     char line[256];
-    std::snprintf(line, sizeof line, "%-32s %10s %14s %14s %14s\n",
-                  "workload", "items/rep", "median ms", "min ms",
-                  "items/s (med)");
+    std::snprintf(line, sizeof line,
+                  "%-32s %10s %14s %14s %14s %12s %12s\n", "workload",
+                  "items/rep", "median ms", "min ms", "items/s (med)",
+                  "allocs/rep", "rss KiB");
     out << line;
     for (const WorkloadResult &r : report.workloads) {
-        std::snprintf(line, sizeof line,
-                      "%-32s %10llu %14.3f %14.3f %14.0f\n",
-                      r.name.c_str(),
-                      static_cast<unsigned long long>(r.itemsPerRep),
-                      static_cast<double>(r.medianNs) / 1e6,
-                      static_cast<double>(r.minNs) / 1e6,
-                      r.itemsPerSecMedian);
+        std::snprintf(
+            line, sizeof line,
+            "%-32s %10llu %14.3f %14.3f %14.0f %12llu %12llu\n",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.itemsPerRep),
+            static_cast<double>(r.medianNs) / 1e6,
+            static_cast<double>(r.minNs) / 1e6, r.itemsPerSecMedian,
+            static_cast<unsigned long long>(r.allocCount),
+            static_cast<unsigned long long>(r.peakRssKb));
         out << line;
     }
     for (const KernelRatio &r : report.ratios) {

@@ -45,6 +45,19 @@ struct PerfOptions
     std::string jsonPath;
 };
 
+/**
+ * Process-wide allocation counters (see alloc_hooks.cc). Monotonic:
+ * callers snapshot before and after a region and subtract.
+ */
+struct AllocStats
+{
+    std::uint64_t count = 0; ///< operator-new calls since start
+    std::uint64_t bytes = 0; ///< bytes requested since start
+};
+
+/** Current allocation counters for this process. */
+AllocStats allocStatsNow();
+
 /** One workload's measurement. */
 struct WorkloadResult
 {
@@ -57,6 +70,13 @@ struct WorkloadResult
     std::uint64_t minNs = 0;
     double itemsPerSecMedian = 0.0;
     double itemsPerSecBest = 0.0;
+    /** Median per-rep heap traffic across the timed reps. */
+    std::uint64_t allocCount = 0;
+    std::uint64_t allocBytes = 0;
+    /** ru_maxrss after this workload's reps — a process-wide high-
+     * water mark, so it is monotone across the workload sequence and
+     * only the per-workload increase is attributable. */
+    std::uint64_t peakRssKb = 0;
 };
 
 /** Pooled-vs-legacy speedup derived from a workload pair. */
@@ -77,7 +97,9 @@ struct PerfReport
 /** Run the pinned workload set (filtered by @p opt.only). */
 PerfReport runPerf(const PerfOptions &opt);
 
-/** Serialize canonically under the `c4perf/1` schema. */
+/** Serialize canonically under the `c4perf/2` schema (v2 adds the
+ * per-workload alloc_count / alloc_bytes / peak_rss_kb memory
+ * columns; trend tooling accepts both versions). */
 std::string perfReportJson(const PerfReport &report,
                            const PerfOptions &opt);
 

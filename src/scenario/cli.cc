@@ -54,6 +54,12 @@ usage(const char *argv0)
         "  --trace-filter KINDS\n"
         "                 record only these comma-separated event\n"
         "                 kinds (e.g. fault_injected,recompute_end)\n"
+        "  --metrics DIR  write per-trial metric snapshots (c4metrics\n"
+        "                 JSONL) under DIR; inspect with c4stat\n"
+        "                 summary|tail|diff\n"
+        "  --metrics-period S\n"
+        "                 sampling cadence in simulated seconds\n"
+        "                 (default 1.0; needs --metrics)\n"
         "  --list         list registered scenarios and exit\n"
         "  --all          run every registered scenario\n"
         "  --spec FILES   load scenarios from spec files and run them\n"
@@ -140,6 +146,7 @@ scenarioMain(int argc, char **argv)
     bool list = false;
     bool all = false;
     bool traceFilterSet = false;
+    bool metricsPeriodSet = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -209,6 +216,25 @@ scenarioMain(int argc, char **argv)
                 return 2;
             }
             traceFilterSet = true;
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            const char *v = value("--metrics");
+            if (!v || *v == '\0') {
+                usage(argv[0]);
+                return 2;
+            }
+            opt.metricsDir = v;
+        } else if (std::strcmp(arg, "--metrics-period") == 0) {
+            const char *v = value("--metrics-period");
+            char *end = nullptr;
+            const double sec = v ? std::strtod(v, &end) : 0.0;
+            if (!v || end == v || *end != '\0' || !(sec > 0.0) ||
+                sec > 86400.0) {
+                std::fprintf(stderr, "--metrics-period needs a "
+                                     "positive number of seconds\n");
+                return 2;
+            }
+            opt.metricsPeriod = seconds(sec);
+            metricsPeriodSet = true;
         } else if (std::strcmp(arg, "--spec") == 0) {
             const char *v = value("--spec");
             if (!v) {
@@ -252,6 +278,11 @@ scenarioMain(int argc, char **argv)
 
     if (traceFilterSet && opt.traceDir.empty()) {
         std::fprintf(stderr, "--trace-filter needs --trace DIR\n");
+        return 2;
+    }
+    if (metricsPeriodSet && opt.metricsDir.empty()) {
+        std::fprintf(stderr,
+                     "--metrics-period needs --metrics DIR\n");
         return 2;
     }
     if ((!specPaths.empty() && !specHooks().loadAndRegister) ||

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/types.h"
+#include "obs/metrics.h"
 #include "trace/trace.h"
 
 namespace c4::scenario {
@@ -47,6 +49,18 @@ struct RunOptions
 
     /** Which event kinds to record (`--trace-filter k1,k2`). */
     trace::KindMask traceFilter = trace::kAllKinds;
+
+    /**
+     * Metric-snapshot output directory (`--metrics DIR`); empty =
+     * metrics off (the default — zero overhead). When set, every
+     * (variant, trial) samples its registry on a simulated-time
+     * cadence and writes a deterministic c4metrics/1 JSONL snapshot;
+     * the CSV/JSON results are unchanged.
+     */
+    std::string metricsDir;
+
+    /** Sampling cadence in simulated time (`--metrics-period S`). */
+    Duration metricsPeriod = seconds(1);
 
     /** The full-fidelity value, or the slashed one in smoke mode. */
     template <typename T>
@@ -102,6 +116,14 @@ class TrialContext
      * Simulator may do the same to get traced.
      */
     trace::TraceRecorder *tracer = nullptr;
+
+    /**
+     * This trial's metric registry, or nullptr when metrics are off.
+     * The spec interpreter attaches it to the trial's Simulator
+     * (`sim.setMetrics(...)`) and samples it on the metricsPeriod
+     * cadence; custom executors may do the same to get sampled.
+     */
+    obs::MetricRegistry *meter = nullptr;
 
     /** Record one measurement. Order is preserved into sinks. */
     void

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/random.h"
+#include "obs/snapshot.h"
 #include "scenario/workload.h"
 #include "trace/export.h"
 
@@ -88,6 +89,64 @@ writeTraces(const RunOptions &opt, const Scenario &scenario,
               static_cast<std::streamsize>(text.size()));
     if (!out)
         return "cannot write '" + chrome.string() + "'";
+    return "";
+}
+
+/**
+ * Write the per-trial c4metrics/1 snapshots. File naming mirrors
+ * writeTraces (`v<K>_<label>.t<N>.jsonl` under a sanitized scenario
+ * directory) and registry slot order is the same variant-major work-
+ * item order, so snapshot bytes are independent of the thread
+ * schedule.
+ * @return "" on success, else an error message.
+ */
+std::string
+writeMetricSnapshots(
+    const RunOptions &opt, const Scenario &scenario,
+    const std::vector<ScenarioSpec> &variants, int trialBegin,
+    int trialCount,
+    const std::vector<std::unique_ptr<obs::MetricRegistry>>
+        &registries)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(opt.metricsDir) /
+        obs::sanitizeFileComponent(scenario.name);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        return "cannot create metrics directory '" + dir.string() +
+               "': " + ec.message();
+    }
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::string stem =
+            "v" + std::to_string(v) + "_" +
+            obs::sanitizeFileComponent(variants[v].variant);
+        for (int t = 0; t < trialCount; ++t) {
+            const int trial = trialBegin + t;
+            const std::size_t i =
+                v * static_cast<std::size_t>(trialCount) +
+                static_cast<std::size_t>(t);
+            const fs::path path =
+                dir / (stem + ".t" + std::to_string(trial) +
+                       ".jsonl");
+            obs::SnapshotMeta meta;
+            meta.scenario = scenario.name;
+            meta.variant = variants[v].variant;
+            meta.trial = trial;
+            meta.periodNs = opt.metricsPeriod;
+            std::ofstream out(path, std::ios::binary);
+            if (!out)
+                return "cannot write '" + path.string() + "'";
+            const std::string text =
+                obs::writeSnapshot(meta, registries[i]->samples());
+            out.write(text.data(),
+                      static_cast<std::streamsize>(text.size()));
+            if (!out)
+                return "cannot write '" + path.string() + "'";
+        }
+    }
     return "";
 }
 
@@ -171,6 +230,10 @@ ScenarioRunner::run(const Scenario &scenario)
     const bool tracing = !opt.traceDir.empty();
     std::vector<std::unique_ptr<trace::TraceRecorder>> recorders(
         tracing ? items : 0);
+    // Same slot-per-item scheme for metric registries.
+    const bool metricsOn = !opt.metricsDir.empty();
+    std::vector<std::unique_ptr<obs::MetricRegistry>> registries(
+        metricsOn ? items : 0);
     std::atomic<std::size_t> next{0};
 
     auto worker = [&] {
@@ -191,6 +254,10 @@ ScenarioRunner::run(const Scenario &scenario)
                 recorders[i] = std::make_unique<trace::TraceRecorder>(
                     opt.traceFilter);
                 ctx.tracer = recorders[i].get();
+            }
+            if (metricsOn) {
+                registries[i] = std::make_unique<obs::MetricRegistry>();
+                ctx.meter = registries[i].get();
             }
             try {
                 if (spec.custom)
@@ -257,6 +324,17 @@ ScenarioRunner::run(const Scenario &scenario)
         if (!traceError.empty()) {
             std::fprintf(stderr, "scenario '%s': %s\n",
                          scenario.name.c_str(), traceError.c_str());
+            return 1;
+        }
+    }
+
+    if (metricsOn) {
+        const std::string metricsError = writeMetricSnapshots(
+            opt, scenario, variants, scenario.trialBegin, trialCount,
+            registries);
+        if (!metricsError.empty()) {
+            std::fprintf(stderr, "scenario '%s': %s\n",
+                         scenario.name.c_str(), metricsError.c_str());
             return 1;
         }
     }

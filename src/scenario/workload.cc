@@ -1,9 +1,11 @@
 #include "scenario/workload.h"
 
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
 #include "accl/path_policy.h"
+#include "c4d/metrics_sink.h"
 #include "common/stats.h"
 #include "core/experiment.h"
 #include "train/model.h"
@@ -85,12 +87,21 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
 
     // The spray policy must outlive the cluster's ACCL instance.
     accl::SprayPathPolicy spray(deriveSeed(ctx.seed, 0x5B4A45));
+    // The telemetry sink must outlive the cluster (steering holds a
+    // raw pointer until the cluster is torn down).
+    std::unique_ptr<c4d::MetricsTelemetrySink> obsSink;
+    if (ctx.meter != nullptr) {
+        obsSink =
+            std::make_unique<c4d::MetricsTelemetrySink>(*ctx.meter);
+    }
 
     core::Cluster cluster(toClusterConfig(spec, ctx.seed));
     core::Cluster &cl = cluster;
     // One attach instruments the whole stack: every layer emits
     // through the Simulator's TraceScope. Nullptr recorder = no-op.
     cl.sim().setTracer(trace::TraceScope(ctx.tracer));
+    // Same deal for metrics: a detached scope is a null check.
+    cl.sim().setMetrics(obs::MetricsScope(ctx.meter));
     const net::Topology &topo = cl.topology();
 
     if (spec.features.sprayPaths)
@@ -99,6 +110,8 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
         cl.provisionBackupNodes(spec.features.backupNodes);
     if (spec.features.c4d)
         cl.startRuntime();
+    if (obsSink && cl.steering() != nullptr)
+        cl.steering()->setTelemetrySink(obsSink.get());
 
     // --- jobs ---------------------------------------------------------
     struct JobProbe
@@ -269,9 +282,10 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
     std::unique_ptr<PeriodicTask> cnpSampler;
     if (spec.metrics.cnpSamplePeriod > 0) {
         const NicId nic = spec.metrics.cnpNic;
+        c4d::TelemetrySink *cnpSink = obsSink.get();
         cnpSampler = std::make_unique<PeriodicTask>(
             cl.sim(), spec.metrics.cnpSamplePeriod,
-            [&cl, &cnpSamples, nic] {
+            [&cl, &cnpSamples, nic, cnpSink] {
                 double sum = 0.0;
                 std::int64_t hot = 0;
                 for (NodeId n = 0; n < cl.topology().numNodes(); ++n) {
@@ -283,16 +297,28 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
                         ++hot;
                     }
                 }
+                const double mean =
+                    hot > 0 ? sum / static_cast<double>(hot) : 0.0;
                 trace::TraceScope &tr = cl.sim().tracer();
                 if (tr.wants(trace::EventKind::CnpSample)) {
                     trace::Event tev;
                     tev.when = cl.sim().now();
                     tev.kind = trace::EventKind::CnpSample;
                     tev.a = hot;
-                    tev.value = hot > 0
-                                    ? sum / static_cast<double>(hot)
-                                    : 0.0;
+                    tev.value = mean;
                     tr.record(std::move(tev));
+                }
+                // The same sample feeds the live metrics registry
+                // through the replay telemetry seam — the spec-driven
+                // sampler runs (and draws its lazy recomputes)
+                // whether or not metrics are attached, so attaching
+                // cannot perturb the simulation.
+                if (cnpSink != nullptr) {
+                    c4d::CnpRecord crec;
+                    crec.when = cl.sim().now();
+                    crec.hotNics = hot;
+                    crec.meanKps = mean;
+                    cnpSink->onCnpSample(crec);
                 }
             });
         cnpSampler->start();
@@ -321,6 +347,97 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
         uplinkSampler->start();
     }
 
+    // --- metrics pump -------------------------------------------------
+    // Pulls gauge state from pure accessors only: anything that could
+    // trigger a lazy fabric recompute (and so consume RNG) would make
+    // a metrics-enabled run diverge from the golden one. Fabric/CNP
+    // observables come from push-side instrumentation and the
+    // spec-driven CNP sampler above instead.
+    std::function<void()> sampleMetrics;
+    std::shared_ptr<std::function<void()>> pump;
+    if (ctx.meter != nullptr) {
+        obs::MetricRegistry *reg = ctx.meter;
+        core::Cluster *clp = &cl;
+        std::vector<JobProbe> *probes = &jobProbes;
+        sampleMetrics = [reg, clp, probes] {
+            Simulator &sim = clp->sim();
+            reg->setCounter("sim.executed",
+                            static_cast<std::int64_t>(
+                                sim.executedCount()));
+            reg->setGauge("sim.pending",
+                          static_cast<double>(sim.pendingCount()));
+            reg->observe("sim.depth",
+                         static_cast<double>(sim.pendingCount()));
+            reg->setGauge("sim.pool_slots",
+                          static_cast<double>(sim.poolSlotCount()));
+            reg->setGauge("sim.near_band",
+                          static_cast<double>(sim.nearBandSize()));
+            reg->setGauge("sim.far_band",
+                          static_cast<double>(sim.farBandSize()));
+            reg->setCounter("sim.promotes",
+                            static_cast<std::int64_t>(
+                                sim.promoteCount()));
+            reg->setCounter("fabric.flows_started",
+                            static_cast<std::int64_t>(
+                                clp->fabric().totalFlowsStarted()));
+            reg->setCounter("fabric.flows_completed",
+                            static_cast<std::int64_t>(
+                                clp->fabric().totalFlowsCompleted()));
+            reg->setCounter("fabric.reallocs",
+                            static_cast<std::int64_t>(
+                                clp->fabric().reallocationCount()));
+            double sps = 0.0;
+            std::int64_t iters = 0;
+            for (const JobProbe &p : *probes) {
+                sps += p.job->meanSamplesPerSec();
+                iters += static_cast<std::int64_t>(
+                    p.job->iterationsCompleted());
+            }
+            reg->setGauge("jobs.samples_per_sec", sps);
+            reg->setCounter("jobs.iterations", iters);
+            if (clp->steering() != nullptr) {
+                reg->setGauge("steering.backups_available",
+                              static_cast<double>(
+                                  clp->steering()->backupsAvailable()));
+                reg->setGauge(
+                    "steering.isolated_nodes",
+                    static_cast<double>(
+                        clp->steering()->isolatedNodes().size()));
+                reg->setCounter("steering.restarts",
+                                static_cast<std::int64_t>(
+                                    clp->steering()->restartsIssued()));
+            }
+            if (clp->c4dMaster() != nullptr) {
+                reg->setCounter("c4d.events",
+                                static_cast<std::int64_t>(
+                                    clp->c4dMaster()->eventsEmitted()));
+            }
+            reg->snapshot(sim.now());
+        };
+
+        // Self-stopping pump instead of a PeriodicTask: a task that
+        // always reschedules would keep a horizonless run() from ever
+        // draining its queue. The pump re-arms only while other work
+        // is pending, so it ticks for exactly the simulation's
+        // lifetime; the post-run sample below captures the end state.
+        const Duration period =
+            ctx.opt.metricsPeriod > 0 ? ctx.opt.metricsPeriod
+                                      : seconds(1);
+        Simulator *simp = &cl.sim();
+        pump = std::make_shared<std::function<void()>>();
+        std::weak_ptr<std::function<void()>> weak = pump;
+        auto fire = sampleMetrics;
+        *pump = [simp, period, fire, weak] {
+            fire();
+            if (simp->pendingCount() > 0) {
+                if (auto next = weak.lock())
+                    simp->scheduleAfter(period,
+                                        [next] { (*next)(); });
+            }
+        };
+        simp->scheduleAfter(period, [pump] { (*pump)(); });
+    }
+
     // --- run ----------------------------------------------------------
     for (JobProbe &p : jobProbes)
         p.job->start();
@@ -331,6 +448,10 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
         cnpSampler->stop();
     if (uplinkSampler)
         uplinkSampler->stop();
+    // One final pull at end time, before any reporting below runs the
+    // fabric's lazy recomputes.
+    if (sampleMetrics)
+        sampleMetrics();
 
     // --- metrics ------------------------------------------------------
     const MetricsSpec &m = spec.metrics;

@@ -236,6 +236,7 @@ Simulator::compact()
 void
 Simulator::promote()
 {
+    ++promotions_;
     // Pass 1: earliest deadline in the far band, tombstones included —
     // a pure sequential scan with no slot touches. A tombstone can
     // only pull the horizon lower (promote fewer), never reorder

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "trace/trace.h"
 
 namespace c4 {
@@ -203,6 +204,30 @@ class Simulator
      * @{ */
     trace::TraceScope &tracer() { return tracer_; }
     void setTracer(trace::TraceScope scope) { tracer_ = scope; }
+    /** @} */
+
+    /** @name Live metrics
+     * The simulator carries the run's MetricsScope for the same reason
+     * it carries the TraceScope: every instrumented layer already holds
+     * a Simulator reference. Detached (the default), emitting is a
+     * single null check.
+     * @{ */
+    obs::MetricsScope &metrics() { return metrics_; }
+    void setMetrics(obs::MetricsScope scope) { metrics_ = scope; }
+    /** @} */
+
+    /** @name Event-kernel introspection
+     * Pure reads over the pooled two-band store, safe to pull from a
+     * metrics sampler at any point (no lazy recompute, no RNG).
+     * @{ */
+    /** Far-band -> near-heap promotion scans performed so far. */
+    std::uint64_t promoteCount() const { return promotions_; }
+    /** Event slots ever materialized in the pool slab. */
+    std::uint32_t poolSlotCount() const { return slotCount_; }
+    /** Entries in the near heap (live + tombstones). */
+    std::size_t nearBandSize() const { return heap_.size(); }
+    /** Entries in the far band (live + tombstones). */
+    std::size_t farBandSize() const { return far_.size(); }
     /** @} */
 
   private:
@@ -360,9 +385,11 @@ class Simulator
     void promote();
 
     trace::TraceScope tracer_;
+    obs::MetricsScope metrics_;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t promotions_ = 0; ///< far->near promotion scans
 
     std::vector<std::unique_ptr<Slot[]>> chunks_;
     std::uint32_t freeHead_ = kNoSlot;

@@ -28,12 +28,15 @@ struct Child
 /**
  * fork/exec one shard worker: `bench --spec <spec> --csv -` with
  * stdout redirected into the shard CSV and stderr into the shard log
- * (both truncated — a retry starts clean).
+ * (both truncated — a retry starts clean). A non-empty @p metricsDir
+ * adds `--metrics <metricsDir>`; the string is built by the caller
+ * because the child may only use async-signal-safe calls before exec.
  * @return child pid, or -1 with @p error set.
  */
 pid_t
 spawnShard(const std::string &bench, const std::string &spec,
-           const std::string &csv, const std::string &log, bool smoke,
+           const std::string &csv, const std::string &log,
+           const std::string &metricsDir, bool smoke,
            std::string &error)
 {
     const pid_t pid = fork();
@@ -62,6 +65,10 @@ spawnShard(const std::string &bench, const std::string &spec,
     argv.push_back(spec.c_str());
     argv.push_back("--csv");
     argv.push_back("-");
+    if (!metricsDir.empty()) {
+        argv.push_back("--metrics");
+        argv.push_back(metricsDir.c_str());
+    }
     if (smoke)
         argv.push_back("--smoke");
     argv.push_back(nullptr);
@@ -242,10 +249,17 @@ runCampaign(const ExecRequest &request, ExecStats &stats,
             shard.status = ShardStatus::Running;
             saveManifest(request.dir, manifest);
             std::string spawnError;
+            // Per-shard snapshot directory, built pre-fork (the child
+            // is restricted to async-signal-safe calls). c4bench
+            // creates the directory tree itself.
+            const std::string metricsDir =
+                request.metrics
+                    ? campaignPath(request.dir, "metrics/" + shard.id)
+                    : std::string();
             const pid_t pid = spawnShard(
                 bench, campaignPath(request.dir, shard.spec),
                 campaignPath(request.dir, shard.csv),
-                campaignPath(request.dir, shard.log),
+                campaignPath(request.dir, shard.log), metricsDir,
                 manifest.smoke, spawnError);
             if (pid < 0) {
                 shard.status = ShardStatus::Pending;

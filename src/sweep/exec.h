@@ -50,6 +50,13 @@ struct ExecRequest
      * campaign and the CSVs collected back for a single merge.
      */
     std::vector<std::string> only;
+
+    /**
+     * `--metrics`: each shard child additionally writes c4metrics/1
+     * snapshots under `<dir>/metrics/<shard.id>/`, which `c4sweep
+     * status --watch` polls for per-scenario highlights.
+     */
+    bool metrics = false;
 };
 
 /** What one `c4sweep run` invocation did. */

@@ -24,3 +24,13 @@ dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
         > /dev/null
     echo "updated tests/golden/$name.csv"
 done
+
+# The fig9 metric-snapshot golden (ctest -L obs byte-compares the
+# trial-0 snapshot against it; test_obs prefix-fuzzes its parser).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+"$bench" fig9_dualport --smoke --trials 1 --threads 1 \
+    --metrics "$tmp" > /dev/null
+snapshot=$(find "$tmp" -name '*.jsonl' | sort | head -n 1)
+cp "$snapshot" "$dir/fig9_dualport_metrics.jsonl"
+echo "updated tests/golden/fig9_dualport_metrics.jsonl"

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Perf trend gate over committed c4perf/1 baselines.
+"""Perf trend gate over committed c4perf baselines (v1 or v2).
 
 Compares the two most recent ``BENCH_<n>.json`` files in the repo root
 (or the paths given on the command line) and fails when any pooled-
 kernel workload's ``pooled_vs_legacy_median`` speedup regressed by more
-than 25% against the previous baseline.
+than 25% against the previous baseline, or — when both baselines carry
+the c4perf/2 memory columns — when a workload's ``alloc_count`` grew by
+more than 25%.
 
 The ratio is machine-independent where the raw ns numbers are not:
 pooled and legacy run the same workload on the same machine in the same
 process, so a collapsing ratio means the pooled kernel itself got
-slower, not that CI moved to different hardware.
+slower, not that CI moved to different hardware. Allocation counts are
+similarly deterministic per workload, unlike raw ns or RSS.
 
 Usage:
     tests/perf_trend.py                 # auto-pick latest two in repo
@@ -41,12 +44,17 @@ def find_baselines(root):
     return found[-2][1], found[-1][1]
 
 
-def load_ratios(path):
+def load_report(path):
+    """Return (ratios, allocs); allocs is None for a c4perf/1 file."""
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("schema") != "c4perf/1":
+    if doc.get("schema") not in ("c4perf/1", "c4perf/2"):
         sys.exit("perf_trend: %s: unexpected schema %r" % (path, doc.get("schema")))
-    return {r["name"]: r["pooled_vs_legacy_median"] for r in doc["ratios"]}
+    ratios = {r["name"]: r["pooled_vs_legacy_median"] for r in doc["ratios"]}
+    allocs = None
+    if doc["schema"] == "c4perf/2":
+        allocs = {w["name"]: w["alloc_count"] for w in doc["workloads"]}
+    return ratios, allocs
 
 
 def main(argv):
@@ -57,7 +65,10 @@ def main(argv):
     else:
         sys.exit("usage: perf_trend.py [OLD.json NEW.json]")
 
-    old, new = load_ratios(old_path), load_ratios(new_path)
+    (old, old_allocs), (new, new_allocs) = (
+        load_report(old_path),
+        load_report(new_path),
+    )
     missing = sorted(set(old) - set(new))
     if missing:
         sys.exit(
@@ -78,10 +89,25 @@ def main(argv):
             "  %-24s %-5s ratio %.3f -> %.3f (floor %.3f)"
             % (name, verdict, old[name], new[name], floor)
         )
+    # Memory trend: only when both baselines carry the c4perf/2
+    # columns — a v1 -> v2 transition has nothing to compare against.
+    if old_allocs is not None and new_allocs is not None:
+        for name in sorted(set(old_allocs) & set(new_allocs)):
+            if old_allocs[name] == 0:
+                continue
+            ceiling = old_allocs[name] * REGRESSION_FACTOR
+            verdict = "ok" if new_allocs[name] <= ceiling else "REGRESSED"
+            failed |= new_allocs[name] > ceiling
+            print(
+                "  %-24s %-5s allocs %d -> %d (ceiling %d)"
+                % (name, verdict, old_allocs[name], new_allocs[name], ceiling)
+            )
+
     if failed:
         sys.exit(
-            "perf_trend: pooled-kernel speedup regressed by more than "
-            "%d%%" % round((REGRESSION_FACTOR - 1) * 100)
+            "perf_trend: pooled-kernel speedup or allocation count "
+            "regressed by more than %d%%"
+            % round((REGRESSION_FACTOR - 1) * 100)
         )
     print("perf trend: ok")
 

@@ -95,6 +95,8 @@ TEST(CsvEdge, NumericCellsAndRowAccounting)
 
 TEST(SummaryEdge, EmptyInputAnswersZeroEverywhere)
 {
+    // The documented empty() contract: 0.0 is a sentinel, not a
+    // statistic — callers either check empty() or use percentileOr.
     const Summary s;
     EXPECT_TRUE(s.empty());
     EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
@@ -106,6 +108,86 @@ TEST(SummaryEdge, EmptyInputAnswersZeroEverywhere)
     EXPECT_DOUBLE_EQ(s.min(), 0.0);
     EXPECT_DOUBLE_EQ(s.max(), 0.0);
     EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentileOr(50, -1.0), -1.0);
+}
+
+TEST(SummaryEdge, PercentileOrFallsThroughOnceNonEmpty)
+{
+    Summary s;
+    s.add(7.0);
+    EXPECT_FALSE(s.empty());
+    EXPECT_DOUBLE_EQ(s.percentileOr(50, -1.0), 7.0);
+}
+
+TEST(HistogramEdge, EmptyHistogramReportsEmpty)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_TRUE(h.empty());
+    h.add(3.0);
+    EXPECT_FALSE(h.empty());
+}
+
+TEST(WindowedQuantileEdge, EmptyWindowAnswersTheSentinel)
+{
+    const WindowedQuantile w;
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_DOUBLE_EQ(w.min(), 0.0);
+    EXPECT_DOUBLE_EQ(w.max(), 0.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(w.percentileOr(50, -1.0), -1.0);
+}
+
+TEST(WindowedQuantileEdge, SingleSampleIsEveryPercentile)
+{
+    WindowedQuantile w;
+    w.add(42.5);
+    EXPECT_FALSE(w.empty());
+    EXPECT_DOUBLE_EQ(w.percentile(0), 42.5);
+    EXPECT_DOUBLE_EQ(w.percentile(37.3), 42.5);
+    EXPECT_DOUBLE_EQ(w.percentile(100), 42.5);
+    EXPECT_DOUBLE_EQ(w.percentileOr(50, -1.0), 42.5);
+}
+
+TEST(WindowedQuantileEdge, PercentileClampsAndInterpolates)
+{
+    WindowedQuantile w;
+    w.add(3.0);
+    w.add(1.0); // unsorted insertion order must not matter
+    EXPECT_DOUBLE_EQ(w.percentile(-20.0), 1.0);
+    EXPECT_DOUBLE_EQ(w.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50), 2.0);
+    EXPECT_DOUBLE_EQ(w.percentile(500.0), 3.0);
+}
+
+TEST(WindowedQuantileEdge, RingEvictsOldestBeyondCapacity)
+{
+    WindowedQuantile w(4);
+    for (int i = 1; i <= 10; ++i)
+        w.add(static_cast<double>(i));
+    // Window holds {7, 8, 9, 10}; count still remembers all adds.
+    EXPECT_EQ(w.count(), 10u);
+    EXPECT_EQ(w.size(), 4u);
+    EXPECT_EQ(w.capacity(), 4u);
+    EXPECT_DOUBLE_EQ(w.min(), 7.0);
+    EXPECT_DOUBLE_EQ(w.max(), 10.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50), 8.5);
+
+    w.clear();
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_DOUBLE_EQ(w.percentile(50), 0.0);
+}
+
+TEST(WindowedQuantileEdge, ZeroCapacityClampsToOne)
+{
+    WindowedQuantile w(0);
+    EXPECT_EQ(w.capacity(), 1u);
+    w.add(1.0);
+    w.add(2.0);
+    EXPECT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w.percentile(50), 2.0); // only the newest survives
 }
 
 TEST(SummaryEdge, SingleElementIsEveryPercentile)

@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests for the wall-clock perf harness (`c4bench --perf`): the
- * harness runs end to end, the c4perf/1 JSON schema holds, and the
+ * harness runs end to end, the c4perf/2 JSON schema holds, and the
  * preserved legacy kernel is behaviorally equivalent to the pooled
  * one (same fire order, clock, and live counts through randomized
  * schedule/cancel/run soups — the property the speedup claim rests
@@ -77,7 +77,7 @@ TEST(PerfHarness, JsonReportMatchesSchema)
 
     const Json::Member *schema = root.find("schema");
     ASSERT_NE(schema, nullptr);
-    EXPECT_EQ(schema->value.string, "c4perf/1");
+    EXPECT_EQ(schema->value.string, "c4perf/2");
     const Json::Member *mode = root.find("mode");
     ASSERT_NE(mode, nullptr);
     EXPECT_EQ(mode->value.string, "smoke");
