@@ -13,9 +13,17 @@
  *       single-process `c4bench --threads 1 --csv` run
  *   c4sweep status DIR [--watch]
  *       show the campaign journal, or keep polling it as a live
- *       dashboard (shard states, retry budget burned, and — for
- *       `run --metrics` campaigns — per-scenario throughput pulled
- *       from the shard metric snapshots)
+ *       dashboard (shard states, retry budget burned, forensics
+ *       bundles, and — for `run --metrics` campaigns — per-scenario
+ *       throughput pulled from the shard metric snapshots)
+ *   c4sweep collect DIR HOST_DIR... [--report]
+ *       pull shard results back from per-host campaign copies and
+ *       reconcile the journals (`done` beats `pending`/`failed`;
+ *       divergent `done` CSVs are a hard error), so `merge` then
+ *       produces the byte-identical single-process CSV
+ *   c4sweep forensics DIR
+ *       score every failure bundle's trace through the offline
+ *       incident analyzer and print the verdicts
  *
  * The same scenario registrations as c4bench are linked in, so `plan`
  * can shard any built-in scenario as well as spec files from disk.
@@ -28,7 +36,9 @@
 #include <vector>
 
 #include "scenario/cli.h"
+#include "sweep/collect.h"
 #include "sweep/exec.h"
+#include "sweep/forensics.h"
 #include "sweep/manifest.h"
 #include "sweep/merge.h"
 #include "sweep/plan.h"
@@ -46,16 +56,23 @@ usage(const char *argv0)
         "               <scenario|spec.json>...\n"
         "       %s run DIR [--bench PATH] [--workers N]\n"
         "               [--retries N] [--max-shards N] [--metrics]\n"
+        "               [--no-forensics]\n"
         "               [--only id1,id2]   (shard ids from `status`;\n"
         "               unknown ids are an error — hand each host a\n"
         "               disjoint --only set for multi-host campaigns)\n"
         "       %s merge DIR [--csv FILE]   (FILE '-' = stdout)\n"
         "       %s status DIR [--watch] [--interval S] [--max-ticks N]\n"
+        "       %s collect DIR HOST_DIR... [--only id1,id2] [--report]\n"
+        "       %s forensics DIR\n"
         "\n"
         "A campaign directory holds shards/*.json (one spec file per\n"
-        "trial-range shard), csv/ and logs/ (per-shard results), and\n"
-        "manifest.json (the journal `run` resumes from).\n",
-        argv0, argv0, argv0, argv0);
+        "trial-range shard), csv/ and logs/ (per-shard results),\n"
+        "manifest.json (the journal `run` resumes from), and — after\n"
+        "a shard exhausts its attempt budget — forensics/<shard.id>/\n"
+        "failure bundles (`run` re-runs the shard once with --trace\n"
+        "and --metrics; `collect --report` or `forensics` scores the\n"
+        "bundled traces through the offline incident analyzer).\n",
+        argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 // Value grammar shared with c4bench (scenario/cli.h), so a --trials
@@ -169,6 +186,8 @@ mainRun(int argc, char **argv, const char *argv0)
             }
         } else if (arg == "--metrics") {
             request.metrics = true;
+        } else if (arg == "--no-forensics") {
+            request.forensics = false;
         } else if (arg == "--only") {
             const char *v = value();
             if (!v) {
@@ -308,6 +327,111 @@ mainStatus(int argc, char **argv, const char *argv0)
     }
 }
 
+int
+mainForensics(int argc, char **argv, const char *argv0)
+{
+    std::string dir;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.size() > 1 && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv0);
+            return 2;
+        } else if (dir.empty()) {
+            dir = arg;
+        } else {
+            usage(argv0);
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "forensics needs the campaign DIR\n");
+        usage(argv0);
+        return 2;
+    }
+    try {
+        const c4::sweep::Manifest manifest =
+            c4::sweep::loadManifest(dir);
+        const std::string error =
+            c4::sweep::forensicsReport(dir, manifest, std::cout);
+        if (!error.empty()) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
+
+int
+mainCollect(int argc, char **argv, const char *argv0)
+{
+    c4::sweep::CollectRequest request;
+    bool report = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--report") {
+            report = true;
+        } else if (arg == "--only") {
+            const char *v = value();
+            if (!v) {
+                usage(argv0);
+                return 2;
+            }
+            c4::scenario::splitCommaList(v, request.only);
+            if (request.only.empty()) {
+                std::fprintf(stderr, "--only needs shard ids\n");
+                return 2;
+            }
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv0);
+            return 2;
+        } else if (request.dir.empty()) {
+            request.dir = arg;
+        } else {
+            request.hosts.push_back(arg);
+        }
+    }
+    if (request.dir.empty() || request.hosts.empty()) {
+        std::fprintf(
+            stderr,
+            "collect needs the primary DIR and >= 1 HOST_DIR\n");
+        usage(argv0);
+        return 2;
+    }
+    c4::sweep::CollectStats stats;
+    const std::string error =
+        c4::sweep::collectCampaign(request, stats, std::cout);
+    if (!error.empty()) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    if (report) {
+        try {
+            const c4::sweep::Manifest manifest =
+                c4::sweep::loadManifest(request.dir);
+            const std::string reportError = c4::sweep::forensicsReport(
+                request.dir, manifest, std::cout);
+            if (!reportError.empty()) {
+                std::fprintf(stderr, "%s\n", reportError.c_str());
+                return 1;
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -330,6 +454,10 @@ main(int argc, char **argv)
         return mainMerge(argc - 2, argv + 2, argv[0]);
     if (command == "status")
         return mainStatus(argc - 2, argv + 2, argv[0]);
+    if (command == "collect")
+        return mainCollect(argc - 2, argv + 2, argv[0]);
+    if (command == "forensics")
+        return mainForensics(argc - 2, argv + 2, argv[0]);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     usage(argv[0]);
     return 2;

@@ -1,0 +1,269 @@
+# Multi-host collection + forensics gate, run as `cmake -P` from
+# CTest, in two campaigns:
+#
+# Campaign A (clean round-trip): plan a two-scenario campaign, copy it
+# to two "host" directories, execute a disjoint `--only` half on each,
+# `collect` both back into the primary, and `merge` — the merged CSV
+# must be byte-identical to a single-process `c4bench --threads 1`
+# run, exactly as if the campaign had never been split.
+#
+# Campaign B (forensics): a probe spec (tests/sweep/forensics_probe.
+# json) whose trial 1 deterministically aborts mid-run after a trunk
+# goes down, split across two host copies. The failing shard exhausts
+# its attempt budget, the executor cuts a `forensics/<shard.id>/`
+# bundle with the failure trace attached, `status --watch` surfaces
+# the bundle, the bundled trace replays byte-identically twice through
+# c4replay, and `collect --report` pulls the bundle back and scores it
+# through the incident analyzer — the report must carry the
+# link_failure verdict. The report is saved to
+# ${WORK_DIR}/forensics_report.txt for the CI artifact.
+#
+# Inputs: BENCH (c4bench), SWEEP (c4sweep), REPLAY_TOOL (c4replay),
+# SPEC (clean spec file), PROBE (failing probe spec), WORK_DIR.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# ---- Campaign A: two-host split, collect, merge, byte-compare -------
+
+set(primary "${WORK_DIR}/primary")
+execute_process(
+    COMMAND "${SWEEP}" plan --out "${primary}" --shards 2
+            --smoke --trials 4 fig9_dualport "${SPEC}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "c4sweep plan (campaign A) exited with ${rc}")
+endif()
+
+get_filename_component(spec_name "${SPEC}" NAME_WE)
+file(COPY "${primary}" DESTINATION "${WORK_DIR}/h1")
+file(COPY "${primary}" DESTINATION "${WORK_DIR}/h2")
+set(host1 "${WORK_DIR}/h1/primary")
+set(host2 "${WORK_DIR}/h2/primary")
+
+execute_process(
+    COMMAND "${SWEEP}" run "${host1}" --bench "${BENCH}"
+            --only fig9_dualport.s0,${spec_name}.s0
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "host 1 c4sweep run exited with ${rc}")
+endif()
+execute_process(
+    COMMAND "${SWEEP}" run "${host2}" --bench "${BENCH}"
+            --only fig9_dualport.s1,${spec_name}.s1
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "host 2 c4sweep run exited with ${rc}")
+endif()
+
+# Merging before collection must still be refused: the primary's own
+# journal has every shard pending.
+execute_process(
+    COMMAND "${SWEEP}" merge "${primary}"
+    RESULT_VARIABLE rc
+    ERROR_QUIET OUTPUT_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "c4sweep merge succeeded before the host results were "
+        "collected")
+endif()
+
+execute_process(
+    COMMAND "${SWEEP}" collect "${primary}" "${host1}" "${host2}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE collect_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "c4sweep collect exited with ${rc}:\n${collect_out}")
+endif()
+if(NOT collect_out MATCHES "4 adopted")
+    message(FATAL_ERROR
+        "collect should have adopted all 4 shards:\n${collect_out}")
+endif()
+
+# Collecting again is a no-op (every shard identical on both sides
+# now deduplicates against the primary's own done state).
+execute_process(
+    COMMAND "${SWEEP}" collect "${primary}" "${host1}" "${host2}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE collect_again)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "repeat c4sweep collect exited with ${rc}")
+endif()
+if(NOT collect_again MATCHES "0 adopted")
+    message(FATAL_ERROR
+        "repeat collect re-adopted shards:\n${collect_again}")
+endif()
+
+set(merged "${WORK_DIR}/merged.csv")
+execute_process(
+    COMMAND "${SWEEP}" merge "${primary}" --csv "${merged}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "c4sweep merge exited with ${rc}")
+endif()
+
+set(reference "${WORK_DIR}/reference.csv")
+execute_process(
+    COMMAND "${BENCH}" fig9_dualport --spec "${SPEC}"
+            --smoke --trials 4 --threads 1 --csv "${reference}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference c4bench run exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${merged}"
+            "${reference}"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u "${reference}" "${merged}")
+    message(FATAL_ERROR
+        "two-host collected+merged CSV differs from the "
+        "single-process --threads 1 run — collection broke the "
+        "determinism guarantee")
+endif()
+
+# ---- Campaign B: deterministic failing shard + scored forensics -----
+
+set(probe "${WORK_DIR}/probe")
+execute_process(
+    COMMAND "${SWEEP}" plan --out "${probe}" --shards 2 --smoke
+            "${PROBE}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "c4sweep plan (campaign B) exited with ${rc}")
+endif()
+file(COPY "${probe}" DESTINATION "${WORK_DIR}/p1")
+file(COPY "${probe}" DESTINATION "${WORK_DIR}/p2")
+set(phost1 "${WORK_DIR}/p1/probe")
+set(phost2 "${WORK_DIR}/p2/probe")
+
+execute_process(
+    COMMAND "${SWEEP}" run "${phost1}" --bench "${BENCH}"
+            --only forensics_probe.s0
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "probe host 1 run exited with ${rc}")
+endif()
+
+# Host 2 owns the shard that aborts deterministically: the run must
+# report the failure (exit 1) and cut the forensics bundle.
+execute_process(
+    COMMAND "${SWEEP}" run "${phost2}" --bench "${BENCH}"
+            --only forensics_probe.s1 --retries 0
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE probe_out)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "probe host 2 run should exit 1 (failed shard), got ${rc}:\n"
+        "${probe_out}")
+endif()
+if(NOT probe_out MATCHES "failure bundle")
+    message(FATAL_ERROR
+        "run did not report the forensics bundle:\n${probe_out}")
+endif()
+set(bundle "${phost2}/forensics/forensics_probe.s1")
+if(NOT EXISTS "${bundle}/bundle.json")
+    message(FATAL_ERROR "no bundle manifest at ${bundle}/bundle.json")
+endif()
+
+# The dashboard surfaces the bundle (pure reader, exit 1 incomplete
+# on this host because s0 is not selected here and still pending).
+execute_process(
+    COMMAND "${SWEEP}" status "${phost2}" --watch
+            --interval 0 --max-ticks 1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE watch_out)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "status --watch on the failed probe host should exit 1, got "
+        "${rc}:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "forensic")
+    message(FATAL_ERROR
+        "status --watch shows no forensic column:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "forensics_probe.s1")
+    message(FATAL_ERROR
+        "status --watch lost the failed shard:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "bundle")
+    message(FATAL_ERROR
+        "status --watch does not surface the bundle:\n${watch_out}")
+endif()
+
+# The bundled failure trace replays deterministically: two c4replay
+# passes over the same trace must emit byte-identical verdicts.
+file(GLOB_RECURSE bundle_traces "${bundle}/trace/*.jsonl")
+list(LENGTH bundle_traces trace_count)
+if(trace_count EQUAL 0)
+    message(FATAL_ERROR "the bundle captured no failure trace")
+endif()
+list(GET bundle_traces 0 failure_trace)
+execute_process(
+    COMMAND "${REPLAY_TOOL}" run "${failure_trace}"
+    RESULT_VARIABLE rc
+    OUTPUT_FILE "${WORK_DIR}/replay_once.txt")
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "c4replay run exited with ${rc}")
+endif()
+execute_process(
+    COMMAND "${REPLAY_TOOL}" run "${failure_trace}"
+    RESULT_VARIABLE rc
+    OUTPUT_FILE "${WORK_DIR}/replay_twice.txt")
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "second c4replay run exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/replay_once.txt" "${WORK_DIR}/replay_twice.txt"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "replaying the bundled failure trace twice produced "
+        "different verdicts — determinism broke")
+endif()
+
+# Collect both probe hosts back and score the bundle in one step: the
+# report must name the shard and carry the link_failure verdict the
+# probe's trunk-down plants in the failure trace.
+execute_process(
+    COMMAND "${SWEEP}" collect "${probe}" "${phost1}" "${phost2}"
+            --report
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE report_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "c4sweep collect --report exited with ${rc}:\n${report_out}")
+endif()
+file(WRITE "${WORK_DIR}/forensics_report.txt" "${report_out}")
+if(NOT report_out MATCHES "1 forensics bundle")
+    message(FATAL_ERROR
+        "collect did not pull the bundle back:\n${report_out}")
+endif()
+if(NOT report_out MATCHES "== forensics_probe.s1")
+    message(FATAL_ERROR
+        "the report does not cover the failed shard:\n${report_out}")
+endif()
+if(NOT report_out MATCHES "\"kind\":\"link_failure\"")
+    message(FATAL_ERROR
+        "the report carries no link_failure verdict for the "
+        "trunk-down the probe injects:\n${report_out}")
+endif()
+
+# The standalone scorer sees the collected bundle too.
+execute_process(
+    COMMAND "${SWEEP}" forensics "${probe}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE forensics_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "c4sweep forensics exited with ${rc}")
+endif()
+if(NOT forensics_out MATCHES "link_failure")
+    message(FATAL_ERROR
+        "c4sweep forensics lost the verdict:\n${forensics_out}")
+endif()

@@ -294,6 +294,32 @@ ScenarioRunner::run(const Scenario &scenario)
             t.join();
     }
 
+    // Traces and metric snapshots are written BEFORE failed trials are
+    // reported: a failed trial's recorder holds every event up to the
+    // exception, and shipping that partial trace with the failure is
+    // the whole point of the sweep executor's forensics bundles.
+    if (tracing) {
+        const std::string traceError =
+            writeTraces(opt, scenario, variants, scenario.trialBegin,
+                        trialCount, recorders);
+        if (!traceError.empty()) {
+            std::fprintf(stderr, "scenario '%s': %s\n",
+                         scenario.name.c_str(), traceError.c_str());
+            return 1;
+        }
+    }
+
+    if (metricsOn) {
+        const std::string metricsError = writeMetricSnapshots(
+            opt, scenario, variants, scenario.trialBegin, trialCount,
+            registries);
+        if (!metricsError.empty()) {
+            std::fprintf(stderr, "scenario '%s': %s\n",
+                         scenario.name.c_str(), metricsError.c_str());
+            return 1;
+        }
+    }
+
     for (std::size_t i = 0; i < items; ++i) {
         if (!errors[i])
             continue;
@@ -315,28 +341,6 @@ ScenarioRunner::run(const Scenario &scenario)
                     i % static_cast<std::size_t>(trialCount)),
             what.c_str());
         return 1;
-    }
-
-    if (tracing) {
-        const std::string traceError =
-            writeTraces(opt, scenario, variants, scenario.trialBegin,
-                        trialCount, recorders);
-        if (!traceError.empty()) {
-            std::fprintf(stderr, "scenario '%s': %s\n",
-                         scenario.name.c_str(), traceError.c_str());
-            return 1;
-        }
-    }
-
-    if (metricsOn) {
-        const std::string metricsError = writeMetricSnapshots(
-            opt, scenario, variants, scenario.trialBegin, trialCount,
-            registries);
-        if (!metricsError.empty()) {
-            std::fprintf(stderr, "scenario '%s': %s\n",
-                         scenario.name.c_str(), metricsError.c_str());
-            return 1;
-        }
     }
 
     // Deterministic emission order: variant-major, then trial.

@@ -129,6 +129,15 @@ validateSpec(const ScenarioSpec &spec)
     if (spec.campaign.enabled && spec.campaign.span <= 0)
         return err(spec, "campaign needs span > 0");
 
+    if (spec.abortAt < 0)
+        return err(spec, "abort_at_s must be >= 0");
+    if (spec.abortTrial < -1)
+        return err(spec, "abort_trial must be >= -1");
+    if (spec.abortTrial >= 0 && spec.abortAt <= 0) {
+        return err(spec,
+                   "abort_trial needs abort_at_s > 0 to take effect");
+    }
+
     if (spec.metrics.detection && !spec.features.c4d)
         return err(spec, "detection metrics need C4D enabled");
     if (spec.metrics.detection && spec.faults.empty())

@@ -217,6 +217,21 @@ struct ScenarioSpec
     Duration horizon = 0;
 
     /**
+     * Deterministic failure injection: raise an error at this
+     * simulated time (0 disables). Because per-trial seeds depend only
+     * on (base seed, absolute trial index), a shard that fails here
+     * fails identically when re-run — which is what lets the campaign
+     * executor cut a forensics bundle by re-running the shard under
+     * `--trace`. Every event up to the abort is recorded.
+     */
+    Duration abortAt = 0;
+
+    /** Restrict abortAt to one absolute trial index (-1 = every
+     * trial), so one shard of a sweep fails while its siblings
+     * complete. */
+    int abortTrial = -1;
+
+    /**
      * Escape hatch: scenarios whose machinery the interpreter does not
      * model (Monte-Carlo downtime, raw fault campaigns, kernel
      * microbenchmarks) execute through this instead. Must be callable

@@ -236,6 +236,22 @@ runSpecTrial(const ScenarioSpec &spec, TrialContext &ctx)
         });
     }
 
+    // Deterministic failure injection (the campaign-forensics test
+    // hook): the trial raises at a fixed simulated time, so re-running
+    // the same shard under --trace reproduces the failure with every
+    // event up to the abort on record.
+    if (spec.abortAt > 0 &&
+        (spec.abortTrial < 0 || spec.abortTrial == ctx.trial)) {
+        const int trial = ctx.trial;
+        const Time at = spec.abortAt;
+        cl.sim().scheduleAt(at, [trial, at] {
+            throw std::runtime_error(
+                "injected abort (abort_at_s) at t=" +
+                std::to_string(static_cast<double>(at) * 1e-9) +
+                "s in trial " + std::to_string(trial));
+        });
+    }
+
     Time lastFaultAt = 0;
     std::vector<NodeId> faultVictims;
     for (const FaultSpec &fs : spec.faults) {

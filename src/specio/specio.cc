@@ -710,6 +710,8 @@ bindVariant(const Json &doc, ScenarioSpec &out,
     if (const Json *v = b.member("metrics"))
         bindMetrics(*v, out.metrics, context + ".metrics");
     b.getSeconds("horizon_s", out.horizon);
+    b.getSeconds("abort_at_s", out.abortAt);
+    b.get("abort_trial", out.abortTrial);
     bool custom = false;
     b.get("custom", custom);
     if (custom) {
@@ -1106,6 +1108,10 @@ variantToJson(const ScenarioSpec &spec)
         add(o, "metrics", std::move(metrics));
     if (spec.horizon != 0)
         add(o, "horizon_s", jsonSeconds(spec.horizon));
+    if (spec.abortAt != 0)
+        add(o, "abort_at_s", jsonSeconds(spec.abortAt));
+    if (spec.abortTrial != -1)
+        add(o, "abort_trial", jsonInt(spec.abortTrial));
     if (spec.custom)
         add(o, "custom", jsonBool(true));
     return o;

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multi-host campaign collection: pull shard results back from
+ * per-host copies of one planned campaign and reconcile the journals,
+ * so `c4sweep merge` afterwards produces the byte-identical campaign
+ * CSV a single-process run would have.
+ *
+ * The intended flow is
+ *
+ *     c4sweep plan  DIR ...              # once, on the primary
+ *     cp -r DIR host1:/...; cp -r DIR host2:/...
+ *     c4sweep run --dir DIR --only A,B   # one --only set per host
+ *     c4sweep run --dir DIR --only C,D
+ *     c4sweep collect DIR HOST1_DIR HOST2_DIR
+ *     c4sweep merge --dir DIR
+ *
+ * Reconciliation is journal-driven and refuses ambiguity instead of
+ * guessing:
+ *
+ *  - `done` beats `pending`/`failed`: the CSV, log, metrics tree, and
+ *    forensics bundle are copied back and the journal entry adopted.
+ *  - two `done` entries for one shard must have byte-identical CSVs
+ *    (shards are seed-deterministic, so anything else means the hosts
+ *    ran different inputs) — divergence is a hard error naming the
+ *    shard, and nothing is modified.
+ *  - a `running` entry on either side is a hard error with a resume
+ *    hint: that campaign is either live or interrupted, and collecting
+ *    from it would race or lose work.
+ *  - `failed` beats `pending` (the log and forensics bundle travel);
+ *    between two `failed` entries the higher attempt count wins.
+ *
+ * All validation happens before any file is touched: an error leaves
+ * the primary directory byte-for-byte unchanged.
+ */
+
+#ifndef C4_SWEEP_COLLECT_H
+#define C4_SWEEP_COLLECT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace c4::sweep {
+
+/** What `c4sweep collect` collected from its command line. */
+struct CollectRequest
+{
+    std::string dir; ///< the primary campaign directory (updated)
+
+    /** Per-host campaign copies to pull results from, in argument
+     * order (later hosts reconcile against the running winner). */
+    std::vector<std::string> hosts;
+
+    /** Restrict collection to these shard ids (empty = all). Ids must
+     * exist in the manifest; non-selected shards are untouched. */
+    std::vector<std::string> only;
+};
+
+/** What one `c4sweep collect` invocation did. */
+struct CollectStats
+{
+    int adopted = 0;   ///< shards whose result came from a host copy
+    int deduped = 0;   ///< done-on-both shards with identical CSVs
+    int failures = 0;  ///< shards still failed after reconciliation
+    int bundles = 0;   ///< forensics bundles present after collection
+    int untouched = 0; ///< shards excluded by --only
+};
+
+/**
+ * Reconcile @p request.hosts into the primary campaign.
+ * @return "" on success, otherwise the error (journal conflict,
+ *         structural mismatch, or I/O failure); the primary journal
+ *         is only rewritten on success. Progress goes to @p diag.
+ */
+std::string collectCampaign(const CollectRequest &request,
+                            CollectStats &stats, std::ostream &diag);
+
+} // namespace c4::sweep
+
+#endif // C4_SWEEP_COLLECT_H

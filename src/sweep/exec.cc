@@ -12,6 +12,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "sweep/forensics.h"
 #include "sweep/manifest.h"
 
 namespace c4::sweep {
@@ -54,6 +55,13 @@ spawnShard(const std::string &bench, const std::string &spec,
         open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (csvFd < 0 || logFd < 0 || dup2(csvFd, STDOUT_FILENO) < 0 ||
         dup2(logFd, STDERR_FILENO) < 0) {
+        // Close whichever side did open before bailing: _exit skips
+        // atexit handlers but not the kernel's view of an fd leaked
+        // into a failed setup path.
+        if (csvFd >= 0)
+            close(csvFd);
+        if (logFd >= 0)
+            close(logFd);
         _exit(126);
     }
     close(csvFd);
@@ -185,6 +193,17 @@ runCampaign(const ExecRequest &request, ExecStats &stats,
         const int code = WIFEXITED(status)
                              ? WEXITSTATUS(status)
                              : 128 + WTERMSIG(status);
+        // The child reserves 126 for "setup failed before exec"
+        // (could not open/redirect the CSV or log) and 127 for "could
+        // not exec the bench" — distinct from the bench itself
+        // exiting non-zero, which is what the shard log explains.
+        const char *why = code == 126
+                              ? " (child setup failed: could not "
+                                "open or redirect the shard CSV/log)"
+                              : code == 127
+                                    ? " (cannot exec the bench "
+                                      "binary)"
+                                    : "";
         ++shard.attempts;
         shard.exitCode = code;
         if (code == 0) {
@@ -193,17 +212,31 @@ runCampaign(const ExecRequest &request, ExecStats &stats,
             diag << shard.id << ": done\n";
         } else if (shard.attempts < request.maxAttempts) {
             shard.status = ShardStatus::Pending;
-            diag << shard.id << ": exit " << code << "; retrying ("
-                 << shard.attempts << "/" << request.maxAttempts
-                 << " attempts used)\n";
+            diag << shard.id << ": exit " << code << why
+                 << "; retrying (" << shard.attempts << "/"
+                 << request.maxAttempts << " attempts used)\n";
         } else {
             shard.status = ShardStatus::Failed;
             ++stats.failed;
-            diag << shard.id << ": exit " << code
+            diag << shard.id << ": exit " << code << why
                  << "; out of attempts — see "
                  << campaignPath(request.dir, shard.log) << "\n";
         }
         saveManifest(request.dir, manifest);
+
+        // Budget exhausted: cut the failure bundle while the loss is
+        // fresh. Best-effort — a bundle that cannot be captured must
+        // not turn a journaled shard failure into a campaign error.
+        if (shard.status == ShardStatus::Failed && request.forensics) {
+            const std::string bundleError = captureBundle(
+                request.dir, shard, bench, manifest.smoke, diag);
+            if (bundleError.empty())
+                ++stats.bundles;
+            else
+                diag << shard.id
+                     << ": forensics capture failed: " << bundleError
+                     << "\n";
+        }
     };
 
     // Before returning an infrastructure error, wait for every
@@ -294,7 +327,11 @@ runCampaign(const ExecRequest &request, ExecStats &stats,
     diag << "run: " << stats.executed << " executed, "
          << stats.skipped << " skipped (already done), "
          << stats.failed << " failed, " << stats.remaining
-         << " still pending\n";
+         << " still pending";
+    if (stats.bundles > 0)
+        diag << ", " << stats.bundles << " failure bundle(s) under "
+             << campaignPath(request.dir, "forensics");
+    diag << "\n";
     return "";
 }
 

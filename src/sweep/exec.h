@@ -57,6 +57,15 @@ struct ExecRequest
      * status --watch` polls for per-scenario highlights.
      */
     bool metrics = false;
+
+    /**
+     * When a shard exhausts its attempt budget, re-run it once with
+     * `--trace`/`--metrics` attached and freeze the evidence under
+     * `forensics/<shard.id>/` (sweep/forensics.h). Trials are
+     * seed-deterministic, so the re-run reproduces the failure.
+     * `--no-forensics` opts out.
+     */
+    bool forensics = true;
 };
 
 /** What one `c4sweep run` invocation did. */
@@ -66,6 +75,7 @@ struct ExecStats
     int skipped = 0;   ///< shards already done at load
     int failed = 0;    ///< shards parked as failed
     int remaining = 0; ///< shards still pending on exit
+    int bundles = 0;   ///< failure bundles captured for parked shards
 };
 
 /**

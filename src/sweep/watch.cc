@@ -9,8 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "common/table.h"
 #include "obs/analyze.h"
+#include "sweep/forensics.h"
 #include "sweep/manifest.h"
 
 namespace c4::sweep {
@@ -66,6 +69,24 @@ readPulse(const std::string &dir, const Shard &shard)
     return pulse;
 }
 
+/**
+ * Forensics column: "bundle" once the bundle.json landed (it is
+ * written via tmp+rename, so existence means complete), "(cutting)"
+ * while the executor's traced re-run is still filling the directory,
+ * "-" otherwise. Pure reader — mid-capture is a normal state.
+ */
+std::string
+describeForensics(const std::string &dir, const Shard &shard)
+{
+    if (bundleExists(dir, shard.id))
+        return "bundle";
+    std::error_code ec;
+    if (std::filesystem::is_directory(
+            campaignPath(dir, bundleDir(shard.id)), ec))
+        return "(cutting)";
+    return "-";
+}
+
 std::string
 describePulse(const ShardPulse &pulse)
 {
@@ -91,8 +112,9 @@ renderFrame(const std::string &dir, const Manifest &manifest,
     std::map<std::string, std::pair<int, int>> coverage;
     std::map<std::string, double> throughput;
 
-    AsciiTable table(
-        {"shard", "trials", "status", "attempts", "exit", "metrics"});
+    AsciiTable table({"shard", "trials", "status", "attempts", "exit",
+                      "metrics", "forensic"});
+    std::vector<std::string> bundlePaths;
     for (const Shard &s : manifest.shards) {
         switch (s.status) {
         case ShardStatus::Done: ++done; break;
@@ -109,6 +131,9 @@ renderFrame(const std::string &dir, const Manifest &manifest,
         const ShardPulse pulse = readPulse(dir, s);
         if (pulse.present && !pulse.midWrite)
             throughput[s.scenario] += pulse.samplesPerSec;
+        const std::string forensic = describeForensics(dir, s);
+        if (forensic == "bundle")
+            bundlePaths.push_back(campaignPath(dir, bundleDir(s.id)));
         table.addRow({s.id,
                       "[" + std::to_string(s.trialBegin) + ", " +
                           std::to_string(s.trialBegin +
@@ -119,7 +144,7 @@ renderFrame(const std::string &dir, const Manifest &manifest,
                       s.attempts > 0
                           ? AsciiTable::integer(s.exitCode)
                           : "-",
-                      describePulse(pulse)});
+                      describePulse(pulse), forensic});
     }
 
     out << table.str("campaign " + dir + " — tick " +
@@ -128,6 +153,11 @@ renderFrame(const std::string &dir, const Manifest &manifest,
         << failed << " failed, " << pending
         << " pending; retry budget burned: " << retriesBurned
         << "\n";
+    if (!bundlePaths.empty()) {
+        out << "forensics bundles (score with `c4sweep forensics`):\n";
+        for (const std::string &path : bundlePaths)
+            out << "  " << path << "\n";
+    }
     if (!throughput.empty()) {
         AsciiTable hi({"scenario", "shards done", "samples/s"});
         for (const auto &[scenario, cover] : coverage) {

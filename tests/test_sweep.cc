@@ -4,9 +4,12 @@
  * (absolute trial indices, byte-identical rows), manifest journaling
  * round-trips, the planner's balanced partitions, the process
  * executor's retry/resume state machine (driven through a fake bench
- * script), and the merger's determinism and refusal paths. The
- * end-to-end gate over the real c4bench binary lives in
- * cmake/sweep_check.cmake (ctest -L sweep).
+ * script), the merger's determinism and refusal paths, the c4bundle/1
+ * failure-bundle manifest (round-trip, strictness, prefix fuzz), and
+ * multi-host journal reconciliation (`c4sweep collect`). The
+ * end-to-end gates over the real c4bench binary live in
+ * cmake/sweep_check.cmake (ctest -L sweep) and
+ * cmake/collect_check.cmake (ctest -L collect).
  */
 
 #include <gtest/gtest.h>
@@ -21,7 +24,9 @@
 #include "scenario/runner.h"
 #include "scenario/sink.h"
 #include "specio/specio.h"
+#include "sweep/collect.h"
 #include "sweep/exec.h"
+#include "sweep/forensics.h"
 #include "sweep/manifest.h"
 #include "sweep/merge.h"
 #include "sweep/plan.h"
@@ -520,6 +525,414 @@ TEST(Exec, MissingBenchIsAnInfrastructureError)
     EXPECT_NE(runCampaign(request, stats, diag)
                   .find("cannot execute bench"),
               std::string::npos);
+}
+
+TEST(Exec, DistinguishesChildSetupFailuresFromBenchFailures)
+{
+    // Setup failure: the shard CSV points into a directory that does
+    // not exist, so the child's open() fails before exec (exit 126).
+    const fs::path dir = executorCampaign("exec_setup");
+    const fs::path bench = writeFakeBench(dir, /*failFirst=*/false);
+    Manifest m = loadManifest(dir.string());
+    m.shards[0].csv = "csv/no_such_dir/t.s0.csv";
+    saveManifest(dir.string(), m);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.maxAttempts = 1;
+    request.forensics = false;
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.failed, 1);
+    EXPECT_EQ(loadManifest(dir.string()).shards[0].exitCode, 126);
+    EXPECT_NE(diag.str().find("child setup failed"),
+              std::string::npos);
+
+    // Exec failure: an executable file that is not actually runnable
+    // (no shebang, not an ELF) makes execv fail (exit 127) — distinct
+    // from the bench itself exiting non-zero.
+    const fs::path dir2 = executorCampaign("exec_noexec");
+    const fs::path junk = dir2 / "junk_bench";
+    writeFile(junk, "this is not a program\n");
+    fs::permissions(junk, fs::perms::owner_all);
+    request.dir = dir2.string();
+    request.bench = junk.string();
+    ExecStats stats2;
+    std::ostringstream diag2;
+    ASSERT_EQ(runCampaign(request, stats2, diag2), "");
+    EXPECT_EQ(stats2.failed, 2);
+    EXPECT_EQ(loadManifest(dir2.string()).shards[0].exitCode, 127);
+    EXPECT_NE(diag2.str().find("cannot exec the bench binary"),
+              std::string::npos);
+}
+
+// --- failure bundles (c4bundle/1) -------------------------------------
+
+BundleManifest
+sampleBundle()
+{
+    BundleManifest b;
+    b.shard = "t.s1";
+    b.scenario = "t";
+    b.trialBegin = 2;
+    b.trialCount = 2;
+    b.attempts = 2;
+    b.exitCode = 1;
+    b.forensicExit = 1;
+    b.traces = {"trace/t/v0_a.t2.jsonl", "trace/t/v0_a.t3.jsonl"};
+    b.metrics = {"metrics/t/v0_a.t2.jsonl"};
+    return b;
+}
+
+TEST(Bundle, RoundTripsByteStably)
+{
+    const std::string once = writeBundleManifest(sampleBundle());
+    EXPECT_NE(once.find("\"schema\": \"c4bundle/1\""),
+              std::string::npos);
+    const BundleManifest reloaded = parseBundleManifest(once);
+    EXPECT_EQ(writeBundleManifest(reloaded), once);
+    EXPECT_EQ(reloaded.shard, "t.s1");
+    EXPECT_EQ(reloaded.trialBegin, 2);
+    EXPECT_EQ(reloaded.forensicExit, 1);
+    ASSERT_EQ(reloaded.traces.size(), 2u);
+    EXPECT_EQ(reloaded.traces[1], "trace/t/v0_a.t3.jsonl");
+}
+
+TEST(Bundle, ParserIsStrict)
+{
+    const std::string good = writeBundleManifest(sampleBundle());
+
+    // Unknown keys are rejected, not ignored.
+    std::string extra = good;
+    extra.insert(extra.find("\"shard\""), "\"surprise\": 1,\n  ");
+    EXPECT_THROW(parseBundleManifest(extra), std::runtime_error);
+
+    // Wrong schema tag.
+    std::string wrong = good;
+    wrong.replace(wrong.find("c4bundle/1"), 10, "c4bundle/9");
+    EXPECT_THROW(parseBundleManifest(wrong), std::runtime_error);
+
+    // Missing keys and type confusion.
+    EXPECT_THROW(parseBundleManifest("{}"), std::runtime_error);
+    EXPECT_THROW(parseBundleManifest("[]"), std::runtime_error);
+    std::string mistyped = good;
+    mistyped.replace(mistyped.find("\"attempts\": 2"), 13,
+                     "\"attempts\": \"2\"");
+    EXPECT_THROW(parseBundleManifest(mistyped), std::runtime_error);
+}
+
+TEST(Bundle, EveryBytePrefixParsesOrThrowsWithALineNumber)
+{
+    // A truncated bundle.json (torn copy, dying disk) must always be
+    // a diagnosable error: for every proper byte prefix the parser
+    // either reports the malformed JSON with its line number, or — if
+    // the prefix happens to be complete JSON (the document minus
+    // trailing whitespace) — yields the same bundle back.
+    const std::string full = writeBundleManifest(sampleBundle());
+    for (std::size_t n = 0; n < full.size(); ++n) {
+        const std::string prefix = full.substr(0, n);
+        try {
+            const BundleManifest b = parseBundleManifest(prefix);
+            EXPECT_EQ(writeBundleManifest(b), full)
+                << "prefix of " << n << " bytes parsed differently";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("line"),
+                      std::string::npos)
+                << "prefix of " << n
+                << " bytes threw without a line number: " << e.what();
+        }
+    }
+}
+
+TEST(Bundle, ExecutorCutsABundleWhenTheBudgetIsExhausted)
+{
+    const fs::path dir = executorCampaign("bundle_cut");
+    // A bench that fails every time, so the forensic re-run records
+    // the same failure (exit 3) the campaign parked the shard for.
+    const fs::path bench = dir / "fail_bench.sh";
+    writeFile(bench, "#!/bin/sh\necho boom >&2\nexit 3\n");
+    fs::permissions(bench, fs::perms::owner_all |
+                               fs::perms::group_read |
+                               fs::perms::others_read);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.maxAttempts = 1;
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.failed, 2);
+    EXPECT_EQ(stats.bundles, 2);
+
+    ASSERT_TRUE(bundleExists(dir.string(), "t.s0"));
+    const BundleManifest b = loadBundleManifest(
+        campaignPath(dir.string(), bundleDir("t.s0") + "/bundle.json"));
+    EXPECT_EQ(b.shard, "t.s0");
+    EXPECT_EQ(b.scenario, "t");
+    EXPECT_EQ(b.attempts, 1);
+    EXPECT_EQ(b.exitCode, 3);
+    EXPECT_EQ(b.forensicExit, 3);
+    EXPECT_TRUE(b.traces.empty()); // the fake bench writes no traces
+    EXPECT_NE(readFile(dir / bundleDir("t.s0") / "stderr.log")
+                  .find("boom"),
+              std::string::npos);
+    // The spec traveled into the bundle.
+    EXPECT_TRUE(fs::exists(dir / bundleDir("t.s0") / "shard.json"));
+
+    // The report renders the bundle (no traces -> no verdict lines).
+    std::ostringstream report;
+    ASSERT_EQ(forensicsReport(dir.string(),
+                              loadManifest(dir.string()), report),
+              "");
+    EXPECT_NE(report.str().find("== t.s0"), std::string::npos);
+    EXPECT_NE(report.str().find("no traces captured"),
+              std::string::npos);
+}
+
+TEST(Bundle, NoForensicsOptsOut)
+{
+    const fs::path dir = executorCampaign("bundle_off");
+    const fs::path bench = dir / "fail_bench.sh";
+    writeFile(bench, "#!/bin/sh\nexit 3\n");
+    fs::permissions(bench, fs::perms::owner_all);
+
+    ExecRequest request;
+    request.dir = dir.string();
+    request.bench = bench.string();
+    request.maxAttempts = 1;
+    request.forensics = false;
+    ExecStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(runCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.failed, 2);
+    EXPECT_EQ(stats.bundles, 0);
+    EXPECT_FALSE(fs::exists(dir / "forensics"));
+
+    std::ostringstream report;
+    ASSERT_EQ(forensicsReport(dir.string(),
+                              loadManifest(dir.string()), report),
+              "");
+    EXPECT_NE(report.str().find("no failure bundles"),
+              std::string::npos);
+}
+
+// --- multi-host collection --------------------------------------------
+
+/** Copy a whole campaign directory, as `cp -r` to a host would. */
+fs::path
+copyCampaign(const fs::path &from, const std::string &name)
+{
+    const fs::path to = scratchDir(name);
+    fs::remove_all(to);
+    fs::copy(from, to, fs::copy_options::recursive);
+    return to;
+}
+
+/** Mark one shard done in @p dir's journal and write its CSV. */
+void
+finishShard(const fs::path &dir, std::size_t index,
+            const std::string &csv, int attempts = 1)
+{
+    Manifest m = loadManifest(dir.string());
+    m.shards[index].status = ShardStatus::Done;
+    m.shards[index].attempts = attempts;
+    m.shards[index].exitCode = 0;
+    saveManifest(dir.string(), m);
+    writeFile(dir / m.shards[index].csv, csv);
+    writeFile(dir / m.shards[index].log, "finished\n");
+}
+
+TEST(Collect, DisjointOnlySetsUnionCleanly)
+{
+    const fs::path primary = executorCampaign("collect_union");
+    const fs::path hostA = copyCampaign(primary, "collect_union_a");
+    const fs::path hostB = copyCampaign(primary, "collect_union_b");
+    finishShard(hostA, 0, "h,h\na,0\n");
+    finishShard(hostB, 1, "h,h\nb,1\n");
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string(), hostB.string()};
+    CollectStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(collectCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.adopted, 2);
+    EXPECT_EQ(stats.deduped, 0);
+    EXPECT_EQ(stats.failures, 0);
+
+    const Manifest m = loadManifest(primary.string());
+    EXPECT_EQ(m.shards[0].status, ShardStatus::Done);
+    EXPECT_EQ(m.shards[1].status, ShardStatus::Done);
+    EXPECT_EQ(readFile(primary / m.shards[0].csv), "h,h\na,0\n");
+    EXPECT_EQ(readFile(primary / m.shards[1].csv), "h,h\nb,1\n");
+    EXPECT_TRUE(campaignComplete(m));
+}
+
+TEST(Collect, IdenticalDoneOnBothHostsDedupes)
+{
+    const fs::path primary = executorCampaign("collect_dedup");
+    const fs::path hostA = copyCampaign(primary, "collect_dedup_a");
+    const fs::path hostB = copyCampaign(primary, "collect_dedup_b");
+    finishShard(hostA, 0, "h,h\nsame,0\n");
+    finishShard(hostB, 0, "h,h\nsame,0\n"); // identical bytes
+    finishShard(hostB, 1, "h,h\nb,1\n");
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string(), hostB.string()};
+    CollectStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(collectCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.adopted, 2); // s0 from A, s1 from B
+    EXPECT_EQ(stats.deduped, 1); // s0 on B matched byte-for-byte
+    EXPECT_TRUE(campaignComplete(loadManifest(primary.string())));
+}
+
+TEST(Collect, DivergentDoneBytesAreAHardError)
+{
+    const fs::path primary = executorCampaign("collect_diverge");
+    const fs::path hostA = copyCampaign(primary, "collect_diverge_a");
+    const fs::path hostB = copyCampaign(primary, "collect_diverge_b");
+    finishShard(hostA, 0, "h,h\nversion,1\n");
+    finishShard(hostB, 0, "h,h\nversion,2\n");
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string(), hostB.string()};
+    CollectStats stats;
+    std::ostringstream diag;
+    const std::string error = collectCampaign(request, stats, diag);
+    EXPECT_NE(error.find("t.s0"), std::string::npos);
+    EXPECT_NE(error.find("divergent"), std::string::npos);
+    // Hard error: the primary journal and files are untouched.
+    const Manifest m = loadManifest(primary.string());
+    EXPECT_EQ(m.shards[0].status, ShardStatus::Pending);
+    EXPECT_FALSE(fs::exists(primary / m.shards[0].csv));
+}
+
+TEST(Collect, RunningHostIsRefusedWithAResumeHint)
+{
+    const fs::path primary = executorCampaign("collect_running");
+    const fs::path hostA = copyCampaign(primary, "collect_running_a");
+    finishShard(hostA, 0, "h,h\na,0\n");
+    Manifest m = loadManifest(hostA.string());
+    m.shards[1].status = ShardStatus::Running;
+    saveManifest(hostA.string(), m);
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string()};
+    CollectStats stats;
+    std::ostringstream diag;
+    const std::string error = collectCampaign(request, stats, diag);
+    EXPECT_NE(error.find("t.s1"), std::string::npos);
+    EXPECT_NE(error.find("running"), std::string::npos);
+    EXPECT_NE(error.find(hostA.string()), std::string::npos);
+    EXPECT_NE(error.find("resume"), std::string::npos);
+    // Nothing was adopted, s0 included.
+    EXPECT_EQ(loadManifest(primary.string()).shards[0].status,
+              ShardStatus::Pending);
+
+    // The primary being mid-run is refused the same way.
+    Manifest p = loadManifest(primary.string());
+    p.shards[0].status = ShardStatus::Running;
+    saveManifest(primary.string(), p);
+    m.shards[1].status = ShardStatus::Pending;
+    saveManifest(hostA.string(), m);
+    CollectStats stats2;
+    const std::string error2 = collectCampaign(request, stats2, diag);
+    EXPECT_NE(error2.find("primary"), std::string::npos);
+    EXPECT_NE(error2.find("resume"), std::string::npos);
+}
+
+TEST(Collect, FailedBeatsPendingAndCarriesTheBundle)
+{
+    const fs::path primary = executorCampaign("collect_failed");
+    const fs::path hostA = copyCampaign(primary, "collect_failed_a");
+    Manifest m = loadManifest(hostA.string());
+    m.shards[0].status = ShardStatus::Failed;
+    m.shards[0].attempts = 2;
+    m.shards[0].exitCode = 3;
+    saveManifest(hostA.string(), m);
+    writeFile(hostA / m.shards[0].log, "boom\n");
+    // The host's executor cut a bundle when it parked the shard.
+    fs::create_directories(hostA / bundleDir("t.s0"));
+    BundleManifest b;
+    b.shard = "t.s0";
+    b.scenario = "t";
+    b.trialBegin = 0;
+    b.trialCount = 2;
+    b.attempts = 2;
+    b.exitCode = 3;
+    b.forensicExit = 3;
+    writeFile(hostA / bundleDir("t.s0") / "bundle.json",
+              writeBundleManifest(b));
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string()};
+    CollectStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(collectCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.adopted, 1);
+    EXPECT_EQ(stats.failures, 1);
+    EXPECT_EQ(stats.bundles, 1);
+    const Manifest merged = loadManifest(primary.string());
+    EXPECT_EQ(merged.shards[0].status, ShardStatus::Failed);
+    EXPECT_EQ(merged.shards[0].attempts, 2);
+    EXPECT_EQ(merged.shards[0].exitCode, 3);
+    EXPECT_TRUE(bundleExists(primary.string(), "t.s0"));
+    EXPECT_NE(readFile(primary / merged.shards[0].log).find("boom"),
+              std::string::npos);
+}
+
+TEST(Collect, OnlyRestrictsAndValidatesShardIds)
+{
+    const fs::path primary = executorCampaign("collect_only");
+    const fs::path hostA = copyCampaign(primary, "collect_only_a");
+    finishShard(hostA, 0, "h,h\na,0\n");
+    finishShard(hostA, 1, "h,h\nb,1\n");
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string()};
+    request.only = {"t.s0"};
+    CollectStats stats;
+    std::ostringstream diag;
+    ASSERT_EQ(collectCampaign(request, stats, diag), "");
+    EXPECT_EQ(stats.adopted, 1);
+    EXPECT_EQ(stats.untouched, 1);
+    const Manifest m = loadManifest(primary.string());
+    EXPECT_EQ(m.shards[0].status, ShardStatus::Done);
+    EXPECT_EQ(m.shards[1].status, ShardStatus::Pending);
+
+    request.only = {"t.s9"};
+    CollectStats stats2;
+    EXPECT_NE(collectCampaign(request, stats2, diag)
+                  .find("unknown shard id 't.s9'"),
+              std::string::npos);
+}
+
+TEST(Collect, RejectsAStructurallyDifferentCampaign)
+{
+    const fs::path primary = executorCampaign("collect_mismatch");
+    const fs::path hostA =
+        copyCampaign(primary, "collect_mismatch_a");
+    Manifest m = loadManifest(hostA.string());
+    m.shards[1].trialBegin = 3; // not the same planned campaign
+    saveManifest(hostA.string(), m);
+
+    CollectRequest request;
+    request.dir = primary.string();
+    request.hosts = {hostA.string()};
+    CollectStats stats;
+    std::ostringstream diag;
+    const std::string error = collectCampaign(request, stats, diag);
+    EXPECT_NE(error.find("not a copy"), std::string::npos);
+    EXPECT_NE(error.find("t.s1"), std::string::npos);
 }
 
 // --- merger -----------------------------------------------------------
